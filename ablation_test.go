@@ -1,0 +1,153 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: what the
+// xFDD composition contexts buy (Figure 8), and what placement local search
+// buys over the 1-median seed. Reported via b.ReportMetric so the tradeoff
+// is visible in `go test -bench=Ablation`.
+package snap_test
+
+import (
+	"testing"
+
+	"snap/internal/apps"
+	"snap/internal/deps"
+	"snap/internal/place"
+	"snap/internal/psmap"
+	"snap/internal/syntax"
+	"snap/internal/topo"
+	"snap/internal/traffic"
+	"snap/internal/xfdd"
+)
+
+// BenchmarkAblationContextPruning compares xFDD sizes with and without the
+// Figure 8 context refinement on the running composition.
+func BenchmarkAblationContextPruning(b *testing.B) {
+	p := syntax.Then(
+		apps.Assumption(6),
+		syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(6)),
+	)
+	order := deps.OrderOf(p)
+
+	run := func(b *testing.B, prune bool) {
+		size := 0
+		for i := 0; i < b.N; i++ {
+			tr := xfdd.NewTranslator(order)
+			tr.SetPruning(prune)
+			d, err := tr.ToXFDD(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = d.Size()
+		}
+		b.ReportMetric(float64(size), "xfdd-nodes")
+	}
+	b.Run("with-pruning", func(b *testing.B) { run(b, true) })
+	b.Run("no-pruning", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkAblationLocalSearch compares placement quality (congestion) with
+// the 1-median seed alone versus seed + hill climbing.
+func BenchmarkAblationLocalSearch(b *testing.B) {
+	t := topo.IGen(40, 1000)
+	ports := len(t.Ports)
+	p := syntax.Then(apps.Assumption(ports), syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(ports)))
+	d, order, err := xfdd.Translate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mapping := psmap.Build(d, t.PortIDs())
+	tm := traffic.Gravity(t, 100, 1)
+
+	run := func(b *testing.B, iters int) {
+		congestion := 0.0
+		model := place.NewModel(t, tm, place.Options{Method: place.Heuristic, LocalIters: iters})
+		for i := 0; i < b.N; i++ {
+			res, err := model.SolveST(mapping, order)
+			if err != nil {
+				b.Fatal(err)
+			}
+			congestion = res.Congestion
+		}
+		b.ReportMetric(congestion, "congestion")
+	}
+	b.Run("seed-only", func(b *testing.B) { run(b, -1) })
+	b.Run("local-search", func(b *testing.B) { run(b, 3) })
+}
+
+// TestContextPruningShrinksXFDD pins the qualitative ablation result: the
+// contexts produce strictly smaller diagrams on the running composition,
+// and without them a guarded disjoint parallel write is falsely rejected.
+func TestContextPruningShrinksXFDD(t *testing.T) {
+	p := syntax.Then(
+		apps.Assumption(6),
+		syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(6)),
+	)
+	order := deps.OrderOf(p)
+
+	pruned := xfdd.NewTranslator(order)
+	dP, err := pruned.ToXFDD(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := xfdd.NewTranslator(order)
+	raw.SetPruning(false)
+	dR, err := raw.ToXFDD(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dP.Size() >= dR.Size() {
+		t.Errorf("pruning did not shrink the xFDD: %d vs %d nodes", dP.Size(), dR.Size())
+	}
+
+	// Disjointly guarded parallel writes: accepted with contexts (the
+	// guards are contradictory), rejected without.
+	g := syntax.Par(
+		syntax.Cond(syntax.FieldEq(srcPortF(), intv(1)),
+			syntax.WriteState("s", syntax.V(intv(0)), syntax.V(intv(1))), syntax.Id()),
+		syntax.Cond(syntax.FieldEq(srcPortF(), intv(2)),
+			syntax.WriteState("s", syntax.V(intv(0)), syntax.V(intv(2))), syntax.Id()),
+	)
+	gOrder := deps.OrderOf(g)
+	withCtx := xfdd.NewTranslator(gOrder)
+	dG, err := withCtx.ToXFDD(g)
+	if err != nil {
+		t.Fatalf("guarded writes rejected with contexts: %v", err)
+	}
+	if err := xfdd.CheckRaces(dG); err != nil {
+		t.Fatalf("false race with contexts: %v", err)
+	}
+	noCtx := xfdd.NewTranslator(gOrder)
+	noCtx.SetPruning(false)
+	dN, err := noCtx.ToXFDD(g)
+	if err == nil {
+		if raceErr := xfdd.CheckRaces(dN); raceErr == nil {
+			t.Error("expected a (spurious) race without context pruning — the ablation should show the contexts matter")
+		}
+	}
+}
+
+// TestLocalSearchNeverHurts: hill climbing only ever improves the seed.
+func TestLocalSearchNeverHurts(t *testing.T) {
+	net := topo.IGen(30, 1000)
+	ports := len(net.Ports)
+	p := syntax.Then(apps.Assumption(ports), syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(ports)))
+	d, order, err := xfdd.Translate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping := psmap.Build(d, net.PortIDs())
+	tm := traffic.Gravity(net, 100, 1)
+
+	seed, err := place.NewModel(net, tm, place.Options{Method: place.Heuristic, LocalIters: -1}).SolveST(mapping, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, err := place.NewModel(net, tm, place.Options{Method: place.Heuristic, LocalIters: 3}).SolveST(mapping, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved.Congestion > seed.Congestion+1e-9 {
+		t.Errorf("local search worsened congestion: %.4f -> %.4f", seed.Congestion, improved.Congestion)
+	}
+}
+
+func srcPortF() pktField   { return pktSrcPort }
+func intv(n int64) valuesV { return valuesInt(n) }

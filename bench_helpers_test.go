@@ -1,0 +1,20 @@
+package snap_test
+
+import (
+	"snap/internal/pkt"
+	"snap/internal/psmap"
+	"snap/internal/topo"
+	"snap/internal/values"
+	"snap/internal/xfdd"
+)
+
+func psmapBuild(d *xfdd.Diagram, t *topo.Topology) *psmap.Mapping {
+	return psmap.Build(d, t.PortIDs())
+}
+
+type pktField = pkt.Field
+type valuesV = values.Value
+
+const pktSrcPort = pkt.SrcPort
+
+func valuesInt(n int64) values.Value { return values.Int(n) }

@@ -1,0 +1,94 @@
+// Command snapbench regenerates the paper's evaluation tables and figures
+// (§6.2). Each experiment prints the same rows/series the paper reports;
+// absolute times reflect this machine, shapes are what to compare (see
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	snapbench -exp table5 -scale full
+//	snapbench -exp all    -scale ci
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snap/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|all")
+	scaleName := flag.String("scale", "ci", "scale preset: ci|full")
+	flag.Parse()
+
+	scale := bench.CI
+	if *scaleName == "full" {
+		scale = bench.Full
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "table3":
+			rows, err := bench.Table3()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Table 3: applications written in SNAP ==\n%s\n", bench.FormatTable3(rows))
+		case "table4":
+			out, err := bench.Table4(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Table 4: compiler phases per scenario ==\n%s\n", out)
+		case "table5":
+			rows, err := bench.Table5(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Table 5: evaluated topologies (scale=%s) ==\n%s\n", scale.Name, bench.FormatTable5(rows))
+		case "table6":
+			rows, err := bench.Table6(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Table 6: phase runtimes, DNS-tunnel-detect with routing (scale=%s) ==\n%s\n",
+				scale.Name, bench.FormatTable6(rows))
+		case "fig9":
+			rows, err := bench.Table6(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Figure 9: compilation time per scenario (scale=%s) ==\n%s\n",
+				scale.Name, bench.FormatFig9(rows))
+		case "fig10":
+			rows, err := bench.Fig10(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Figure 10: scaling with topology size (scale=%s) ==\n%s\n",
+				scale.Name, bench.FormatFig10(rows))
+		case "fig11":
+			rows, err := bench.Fig11(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Figure 11: scaling with composed policies (scale=%s) ==\n%s\n",
+				scale.Name, bench.FormatFig11(rows))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table3", "table4", "table5", "table6", "fig9", "fig10", "fig11"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}

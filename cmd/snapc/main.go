@@ -1,0 +1,129 @@
+// Command snapc compiles a SNAP program onto a topology and reports the
+// deployment: state placement, congestion, phase times, per-switch rule
+// statistics, and optionally the program's xFDD (Figure 3 of the paper).
+//
+// Usage:
+//
+//	snapc -program prog.snap -topo campus
+//	snapc -app dns-tunnel-detect -topo igen:50 -print-xfdd
+//	snapc -app stateful-firewall -topo Stanford -port-scale 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"snap"
+	"snap/internal/apps"
+)
+
+func main() {
+	programFile := flag.String("program", "", "path to a .snap program (surface syntax)")
+	appName := flag.String("app", "", "compile a catalogued Table 3 application instead")
+	topoName := flag.String("topo", "campus", "topology: campus | igen:<n> | Stanford|Berkeley|Purdue|AS1755|AS1221|AS6461|AS3257")
+	portScale := flag.Float64("port-scale", 0.2, "port scaling for named Table 5 topologies")
+	printXFDD := flag.Bool("print-xfdd", false, "print the intermediate representation")
+	exact := flag.Bool("exact", false, "use the exact MILP engine (small instances only)")
+	withRouting := flag.Bool("routing", true, "compose with assumption + assign-egress sized to the topology")
+	flag.Parse()
+
+	t, err := buildTopo(*topoName, *portScale)
+	if err != nil {
+		fail(err)
+	}
+
+	policy, name, err := loadPolicy(*programFile, *appName)
+	if err != nil {
+		fail(err)
+	}
+	if *withRouting {
+		n := len(t.PortIDs())
+		if n > 200 {
+			n = 200
+		}
+		policy = snap.Then(snap.Assumption(n), snap.Then(policy, snap.AssignEgress(n)))
+	}
+
+	var opts []snap.CompileOption
+	if *exact {
+		opts = append(opts, snap.WithExactOptimizer())
+	} else {
+		opts = append(opts, snap.WithHeuristicOptimizer())
+	}
+	dep, err := snap.Compile(policy, t, snap.Gravity(t, 100, 1), opts...)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("compiled %s onto %s\n", name, t.Name)
+	fmt.Print(dep.Summary())
+
+	cfg := dep.Config()
+	ids := make([]int, 0, len(cfg.Switches))
+	for id := range cfg.Switches {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	fmt.Println("per-switch configuration:")
+	for _, id := range ids {
+		sc := cfg.Switches[snap.NodeID(id)]
+		if sc.Stats.StateOps == 0 && sc.Stats.ForwardRules == 0 && len(sc.LocalPorts) == 0 {
+			continue
+		}
+		fmt.Printf("  switch %3d: branches=%d suspends=%d stateOps=%d resolves=%d fwdRules=%d ports=%v\n",
+			id, sc.Stats.Branches, sc.Stats.SuspendStubs, sc.Stats.StateOps,
+			sc.Stats.ResolveOps, sc.Stats.ForwardRules, sc.LocalPorts)
+	}
+
+	if *printXFDD {
+		fmt.Println("xFDD:")
+		fmt.Print(dep.XFDD())
+	}
+}
+
+func buildTopo(name string, portScale float64) (*snap.Topology, error) {
+	switch {
+	case name == "campus":
+		return snap.Campus(1000), nil
+	case strings.HasPrefix(name, "igen:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "igen:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad igen size in %q", name)
+		}
+		return snap.IGen(n, 1000), nil
+	default:
+		return snap.NamedTopology(name, 1000, portScale)
+	}
+}
+
+func loadPolicy(file, app string) (snap.Policy, string, error) {
+	switch {
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, "", err
+		}
+		p, err := snap.ParseWith(string(src), snap.ParseOptions{
+			Consts: map[string]snap.Value{"threshold": snap.Int(apps.Threshold)},
+		})
+		return p, file, err
+	case app != "":
+		a, ok := snap.AppByName(app)
+		if !ok {
+			return nil, "", fmt.Errorf("unknown app %q (try: %s)", app, strings.Join(apps.Names(), ", "))
+		}
+		p, err := a.Policy()
+		return p, app, err
+	default:
+		return snap.DNSTunnelDetect(), "dns-tunnel-detect", nil
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "snapc: %v\n", err)
+	os.Exit(1)
+}

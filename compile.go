@@ -1,0 +1,167 @@
+package snap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"snap/internal/core"
+	"snap/internal/dataplane"
+	"snap/internal/place"
+	"snap/internal/rules"
+	"snap/internal/topo"
+	"snap/internal/traffic"
+)
+
+// CompileOption tweaks compilation.
+type CompileOption func(*compileConfig)
+
+type compileConfig struct {
+	opts place.Options
+}
+
+// WithExactOptimizer forces the branch-and-bound MILP engine (small
+// instances only).
+func WithExactOptimizer() CompileOption {
+	return func(c *compileConfig) { c.opts.Method = place.Exact }
+}
+
+// WithHeuristicOptimizer forces the scalable heuristic engine.
+func WithHeuristicOptimizer() CompileOption {
+	return func(c *compileConfig) { c.opts.Method = place.Heuristic }
+}
+
+// PhaseTimes re-exports the per-phase compiler timings (Table 4/6).
+type PhaseTimes = core.PhaseTimes
+
+// Delivery is a packet leaving the network at an OBS port.
+type Delivery = dataplane.Delivery
+
+// Deployment is a compiled SNAP program running on a simulated network.
+type Deployment struct {
+	comp  *core.Compilation
+	plane *dataplane.Network
+}
+
+// Compile runs the full pipeline (§4, Figure 5) and instantiates the data
+// plane: dependency analysis, xFDD generation, packet-state mapping,
+// placement and routing optimization, and per-switch rule generation.
+func Compile(p Policy, t *Topology, tm TrafficMatrix, options ...CompileOption) (*Deployment, error) {
+	var cfg compileConfig
+	for _, o := range options {
+		o(&cfg)
+	}
+	comp, err := core.ColdStart(p, t, tm, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{comp: comp, plane: dataplane.New(comp.Config)}, nil
+}
+
+// Inject sends a packet into the running data plane at an OBS ingress port
+// and returns the deliveries at egress ports (multicast may produce
+// several; stateful drops produce none).
+func (d *Deployment) Inject(port int, p Packet) ([]Delivery, error) {
+	return d.plane.Inject(port, p)
+}
+
+// Placement reports where each state variable was placed.
+func (d *Deployment) Placement() map[string]NodeID {
+	out := make(map[string]NodeID, len(d.comp.Result.Placement))
+	for k, v := range d.comp.Result.Placement {
+		out[k] = v
+	}
+	return out
+}
+
+// Route returns the optimizer-selected switch path for an OBS port pair.
+func (d *Deployment) Route(u, v int) ([]NodeID, bool) {
+	r, ok := d.comp.Result.Routes[[2]int{u, v}]
+	if !ok {
+		return nil, false
+	}
+	return append([]NodeID(nil), r.Nodes...), true
+}
+
+// Congestion is the optimizer's objective value: the sum of link
+// utilizations.
+func (d *Deployment) Congestion() float64 { return d.comp.Result.Congestion }
+
+// Times returns the per-phase compile-time breakdown.
+func (d *Deployment) Times() PhaseTimes { return d.comp.Times }
+
+// GlobalState unions the per-switch state tables into the one-big-switch
+// view.
+func (d *Deployment) GlobalState() *Store { return d.plane.GlobalState() }
+
+// XFDD renders the program's intermediate representation (Figure 3).
+func (d *Deployment) XFDD() string { return d.comp.Diagram.String() }
+
+// XFDDSize is the node count of the intermediate representation.
+func (d *Deployment) XFDDSize() int { return d.comp.Diagram.Size() }
+
+// Recompile compiles a new policy on the same network, reusing the
+// optimization model (the paper's "policy change" scenario).
+func (d *Deployment) Recompile(p Policy) (*Deployment, error) {
+	comp, err := d.comp.PolicyChange(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{comp: comp, plane: dataplane.New(comp.Config)}, nil
+}
+
+// Reroute re-optimizes routing for a new traffic matrix with placement
+// kept (the paper's "topology/TM change" scenario). State table contents
+// are not carried over; the returned deployment starts fresh.
+func (d *Deployment) Reroute(tm TrafficMatrix) (*Deployment, error) {
+	comp, err := d.comp.TopoTMChange(tm)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{comp: comp, plane: dataplane.New(comp.Config)}, nil
+}
+
+// Summary renders a human-readable deployment report: placement, sample
+// routes, congestion and phase times.
+func (d *Deployment) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topology %s: %d switches, %d links, %d ports\n",
+		d.comp.Topo.Name, d.comp.Topo.Switches, len(d.comp.Topo.Links), len(d.comp.Topo.Ports))
+	fmt.Fprintf(&b, "xFDD: %d nodes; optimizer: %s; congestion Σutil = %.4f\n",
+		d.XFDDSize(), d.comp.Result.Method, d.Congestion())
+
+	vars := make([]string, 0, len(d.comp.Result.Placement))
+	for v := range d.comp.Result.Placement {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		n := d.comp.Result.Placement[v]
+		name := fmt.Sprintf("switch %d", n)
+		if d.comp.Topo.Name == "campus" {
+			name = topo.CampusSwitchName(n)
+		}
+		fmt.Fprintf(&b, "  state %-14s -> %s\n", v, name)
+	}
+	t := d.comp.Times
+	fmt.Fprintf(&b, "phases: P1=%s P2=%s P3=%s P4=%s P5=%s P6=%s (total %s)\n",
+		round(t.P1Deps), round(t.P2XFDD), round(t.P3Map), round(t.P4Model),
+		round(t.P5Solve), round(t.P6Rules), round(t.Total()))
+	return b.String()
+}
+
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
+
+// Config exposes the per-switch configurations (rule counts, programs) for
+// inspection.
+func (d *Deployment) Config() *rules.Config { return d.comp.Config }
+
+// Demands returns the traffic matrix the deployment was optimized for.
+func (d *Deployment) Demands() TrafficMatrix {
+	out := make(traffic.Matrix, len(d.comp.Demands))
+	for k, v := range d.comp.Demands {
+		out[k] = v
+	}
+	return out
+}

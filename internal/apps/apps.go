@@ -1,0 +1,504 @@
+// Package apps contains the ~20 stateful applications of Table 3 and
+// Appendix F of the paper, written in SNAP's surface syntax and parsed by
+// internal/parser. These are the programs the evaluation section composes
+// and compiles (Figures 9–11), and the expressiveness evidence of §6.1.
+//
+// Conventions carried over from the paper's pseudo-code:
+//   - Absent state entries read as False, and ++/-- coerce them to 0, so
+//     flag tests like "established[a][b]" and counters compose directly.
+//   - Symbolic enum constants (SYN, Iframe, ESTABLISHED, ...) are string
+//     values.
+//   - Thresholds are injected as named constants.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"snap/internal/parser"
+	"snap/internal/pkt"
+	"snap/internal/syntax"
+	"snap/internal/values"
+)
+
+// App is one catalogued SNAP application.
+type App struct {
+	Name   string
+	Group  string // Chimera, FAST, Bohatei, Other (Table 3)
+	Source string
+	Opts   parser.Options
+}
+
+// Policy parses the application source.
+func (a App) Policy() (syntax.Policy, error) {
+	p, err := parser.ParseWith(a.Source, a.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("app %s: %w", a.Name, err)
+	}
+	return p, nil
+}
+
+// MustPolicy parses or panics; the test suite guarantees all catalogued
+// sources parse.
+func (a App) MustPolicy() syntax.Policy {
+	p, err := a.Policy()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Threshold is the default detection threshold used across applications.
+const Threshold = 3
+
+func consts(extra map[string]values.Value) parser.Options {
+	c := map[string]values.Value{
+		"threshold": values.Int(Threshold),
+	}
+	for k, v := range extra {
+		c[k] = v
+	}
+	return parser.Options{Consts: c}
+}
+
+// Subnet returns the paper's running-example subnet 10.0.i.0/24.
+func Subnet(i int) values.Value { return values.Prefix(uint32(10)<<24|uint32(i)<<8, 24) }
+
+// --- The running example (§2) ---
+
+// DNSTunnelDetectSrc is the program of Figure 1 (DNS tunnel detection for
+// the CS department subnet 10.0.6.0/24).
+const DNSTunnelDetectSrc = `
+if dstip = 10.0.6.0/24 & srcport = 53 then
+  orphan[dstip][dns.rdata] <- True;
+  susp-client[dstip]++;
+  if susp-client[dstip] = threshold then
+    blacklist[dstip] <- True
+  else id
+else
+  if srcip = 10.0.6.0/24 & orphan[srcip][dstip] then
+    orphan[srcip][dstip] <- False;
+    susp-client[srcip]--
+  else id
+`
+
+// DNSTunnelDetect returns the Figure 1 policy.
+func DNSTunnelDetect() syntax.Policy {
+	return parser.MustParseWith(DNSTunnelDetectSrc, consts(nil))
+}
+
+// AssignEgress returns the §2.1 forwarding policy for n OBS ports: packets
+// to subnet 10.0.i.0/24 exit port i, everything else is dropped.
+func AssignEgress(n int) syntax.Policy {
+	p := syntax.Policy(syntax.Nothing())
+	for i := n; i >= 1; i-- {
+		p = syntax.Cond(
+			syntax.FieldEq(pkt.DstIP, Subnet(i)),
+			syntax.Assign(pkt.Outport, values.Int(int64(i))),
+			p,
+		)
+	}
+	return p
+}
+
+// Assumption returns the §4.3 operator-assumption predicate for n ports:
+// traffic from subnet i enters at port i.
+func Assumption(n int) syntax.Policy {
+	var terms []syntax.Pred
+	for i := 1; i <= n; i++ {
+		terms = append(terms, syntax.Conj(
+			syntax.FieldEq(pkt.SrcIP, Subnet(i)),
+			syntax.FieldEq(pkt.Inport, values.Int(int64(i))),
+		))
+	}
+	return syntax.Disj(terms...)
+}
+
+// Monitor returns the §2.1 per-ingress monitoring policy count[inport]++.
+func Monitor() syntax.Policy {
+	return parser.MustParse(`count[inport]++`)
+}
+
+// HoneypotSrc is the §2.1 network-transaction example.
+const HoneypotSrc = `
+if dstip = 10.0.3.0/25 then
+  atomic(hon-ip[inport] <- srcip;
+         hon-dstport[inport] <- dstport)
+else id
+`
+
+// Honeypot returns the atomic honeypot recorder of §2.1.
+func Honeypot() syntax.Policy { return parser.MustParseWith(HoneypotSrc, consts(nil)) }
+
+// --- Catalogue (Table 3 / Appendix F) ---
+
+var catalogue = []App{
+	{
+		Name:  "many-ip-domains",
+		Group: "Chimera",
+		// Policy 1: # domains sharing the same IP address.
+		Source: `
+if srcport = 53 then
+  if ~domain-ip-pair[dns.rdata][dns.qname] then
+    num-of-domains[dns.rdata]++;
+    domain-ip-pair[dns.rdata][dns.qname] <- True;
+    if num-of-domains[dns.rdata] = threshold then
+      mal-ip-list[dns.rdata] <- True
+    else id
+  else id
+else id`,
+		Opts: consts(nil),
+	},
+	{
+		Name:  "many-domain-ips",
+		Group: "Chimera",
+		// Policy 2: # distinct IP addresses under the same domain.
+		Source: `
+if srcport = 53 then
+  if ~ip-domain-pair[dns.qname][dns.rdata] then
+    num-of-ips[dns.qname]++;
+    ip-domain-pair[dns.qname][dns.rdata] <- True;
+    if num-of-ips[dns.qname] = threshold then
+      mal-domain-list[dns.qname] <- True
+    else id
+  else id
+else id`,
+		Opts: consts(nil),
+	},
+	{
+		Name:  "dns-ttl-change",
+		Group: "Chimera",
+		// Policy 4: DNS TTL change tracking.
+		Source: `
+if srcport = 53 then
+  if ~seen[dns.rdata] then
+    seen[dns.rdata] <- True;
+    last-ttl[dns.rdata] <- dns.ttl;
+    ttl-change[dns.rdata] <- 0
+  else
+    if last-ttl[dns.rdata] = dns.ttl then id
+    else
+      last-ttl[dns.rdata] <- dns.ttl;
+      ttl-change[dns.rdata]++
+else id`,
+		Opts: consts(nil),
+	},
+	{
+		Name:   "dns-tunnel-detect",
+		Group:  "Chimera",
+		Source: DNSTunnelDetectSrc,
+		Opts:   consts(nil),
+	},
+	{
+		Name:  "sidejack-detect",
+		Group: "Chimera",
+		// Policy 8: a session id must keep the client IP and user agent it
+		// was established with.
+		Source: `
+if dstip = server & ~(sid = null) then
+  if ~active-session[sid] then
+    atomic(active-session[sid] <- True;
+           sid2ip[sid] <- srcip;
+           sid2agent[sid] <- http.user-agent)
+  else
+    if sid2ip[sid] = srcip & sid2agent[sid] = http.user-agent then id
+    else drop
+else id`,
+		Opts: consts(map[string]values.Value{
+			"server": values.IPv4(10, 0, 5, 80),
+			"null":   values.Int(0),
+		}),
+	},
+	{
+		Name:  "spam-detect",
+		Group: "Chimera",
+		// Policy 6: flag new mail transfer agents that send too much mail
+		// in their first tracking window. The paper's Unknown state is the
+		// absent/False default. (Parentheses delimit the first conditional:
+		// like C, the textual syntax attaches a trailing "; stmt" to the
+		// innermost else.)
+		Source: `
+(if MTA-dir[smtp.mta] = False then
+  MTA-dir[smtp.mta] <- Tracked;
+  mail-counter[smtp.mta] <- 0
+else id);
+if MTA-dir[smtp.mta] = Tracked then
+  mail-counter[smtp.mta]++;
+  if mail-counter[smtp.mta] = threshold then
+    MTA-dir[smtp.mta] <- Spammer
+  else id
+else id`,
+		Opts: consts(nil),
+	},
+	{
+		Name:  "stateful-firewall",
+		Group: "FAST",
+		// Policy 3: only connections initiated inside subnet 6 may return.
+		Source: `
+if srcip = 10.0.6.0/24 then
+  established[srcip][dstip] <- True
+else
+  if dstip = 10.0.6.0/24 then
+    established[dstip][srcip]
+  else id`,
+		Opts: consts(nil),
+	},
+	{
+		Name:  "ftp-monitoring",
+		Group: "FAST",
+		// Policy 5: allow FTP data connections only after a control-channel
+		// PORT announcement (standard mode).
+		Source: `
+if dstport = 21 then
+  ftp-data-chan[srcip][dstip][ftp.port] <- True
+else
+  if srcport = 20 then
+    ftp-data-chan[dstip][srcip][ftp.port]
+  else id`,
+		Opts: consts(nil),
+	},
+	{
+		Name:  "heavy-hitter",
+		Group: "FAST",
+		// Policy 7: flag sources opening too many connections.
+		Source: `
+if tcp.flags = SYN & ~heavy-hitter[srcip] then
+  hh-counter[srcip]++;
+  if hh-counter[srcip] = threshold then
+    heavy-hitter[srcip] <- True
+  else id
+else id`,
+		Opts: consts(nil),
+	},
+	{
+		Name:  "super-spreader",
+		Group: "FAST",
+		// Policy 9: net connection count per source, SYN up / FIN down.
+		Source: `
+if tcp.flags = SYN then
+  spreader[srcip]++;
+  if spreader[srcip] = threshold then
+    super-spreader[srcip] <- True
+  else id
+else
+  if tcp.flags = FIN then
+    spreader[srcip]--
+  else id`,
+		Opts: consts(nil),
+	},
+	{
+		Name:  "flow-size-sampling",
+		Group: "FAST",
+		// Policies 10–14: classify flows by size, then sample each class at
+		// its own rate.
+		Source: `
+flow-size[srcip][dstip][srcport][dstport][proto]++;
+(if flow-size[srcip][dstip][srcport][dstport][proto] = 1 then
+  flow-type[srcip][dstip][srcport][dstport][proto] <- SMALL
+else
+  if flow-size[srcip][dstip][srcport][dstport][proto] = 100 then
+    flow-type[srcip][dstip][srcport][dstport][proto] <- MEDIUM
+  else
+    if flow-size[srcip][dstip][srcport][dstport][proto] = 1000 then
+      flow-type[srcip][dstip][srcport][dstport][proto] <- LARGE
+    else id);
+if flow-type[srcip][dstip][srcport][dstport][proto] = SMALL then
+  small-sampler[srcip][dstip][srcport][dstport][proto]++;
+  if small-sampler[srcip][dstip][srcport][dstport][proto] = 5 then
+    small-sampler[srcip][dstip][srcport][dstport][proto] <- 0
+  else drop
+else
+  if flow-type[srcip][dstip][srcport][dstport][proto] = MEDIUM then
+    medium-sampler[srcip][dstip][srcport][dstport][proto]++;
+    if medium-sampler[srcip][dstip][srcport][dstport][proto] = 50 then
+      medium-sampler[srcip][dstip][srcport][dstport][proto] <- 0
+    else drop
+  else
+    large-sampler[srcip][dstip][srcport][dstport][proto]++;
+    if large-sampler[srcip][dstip][srcport][dstport][proto] = 500 then
+      large-sampler[srcip][dstip][srcport][dstport][proto] <- 0
+    else drop`,
+		Opts: consts(nil),
+	},
+	{
+		Name:  "selective-dropping",
+		Group: "FAST",
+		// Policy 15: drop differentially-encoded MPEG frames whose I-frame
+		// dependency was dropped.
+		Source: `
+if mpeg.frame-type = Iframe then
+  dep-count[srcip][dstip][srcport][dstport] <- 14
+else
+  if dep-count[srcip][dstip][srcport][dstport] = 0 then
+    drop
+  else
+    dep-count[srcip][dstip][srcport][dstport]--`,
+		Opts: consts(nil),
+	},
+	{
+		Name:  "conn-affinity",
+		Group: "FAST",
+		// Policy 16: established connections keep their load-balancer
+		// assignment (lb is a named sub-policy).
+		Source: `
+if tcp-state[dstip][srcip][dstport][srcport][proto] = ESTABLISHED
+ | tcp-state[srcip][dstip][srcport][dstport][proto] = ESTABLISHED then
+  lb
+else id`,
+		Opts: parser.Options{
+			Consts: map[string]values.Value{"threshold": values.Int(Threshold)},
+			Policies: map[string]syntax.Policy{
+				"lb": parser.MustParse(`affinity-bucket[srcip]++`),
+			},
+		},
+	},
+	{
+		Name:  "syn-flood-detect",
+		Group: "Bohatei",
+		// §F: count SYNs without a matching ACK from the receiver side and
+		// block senders that cross the threshold.
+		Source: `
+if tcp.flags = SYN then
+  pending-syn[srcip]++;
+  if pending-syn[srcip] = threshold then
+    syn-flooder[srcip] <- True
+  else id
+else
+  if tcp.flags = SYN-ACK then
+    pending-syn[dstip]--
+  else id`,
+		Opts: consts(nil),
+	},
+	{
+		Name:  "dns-amplification",
+		Group: "Bohatei",
+		// Policy 17: drop DNS responses that answer no recorded query.
+		Source: `
+if dstport = 53 then
+  benign-request[srcip][dstip] <- True
+else
+  if srcport = 53 & ~benign-request[dstip][srcip] then
+    drop
+  else id`,
+		Opts: consts(nil),
+	},
+	{
+		Name:  "udp-flood",
+		Group: "Bohatei",
+		// Policy 18: rate-flag UDP floods per source.
+		Source: `
+if proto = 17 & ~udp-flooder[srcip] then
+  udp-counter[srcip]++;
+  if udp-counter[srcip] = threshold then
+    udp-flooder[srcip] <- True;
+    drop
+  else id
+else id`,
+		Opts: consts(nil),
+	},
+	{
+		Name:  "elephant-flows",
+		Group: "Bohatei",
+		// §F: detect abnormally large flows, then sample/drop their packets.
+		// State names are distinct from flow-size-sampling's so the Table 3
+		// programs can be parallel-composed without write/write races
+		// (§6.2 composes all of them into one policy).
+		Source: `
+eflow-size[srcip][dstip][srcport][dstport][proto]++;
+(if eflow-size[srcip][dstip][srcport][dstport][proto] = 1000 then
+  elephant[srcip][dstip][srcport][dstport][proto] <- True
+else id);
+if elephant[srcip][dstip][srcport][dstport][proto] then
+  e-sampler[srcip][dstip][srcport][dstport][proto]++;
+  if e-sampler[srcip][dstip][srcport][dstport][proto] = 500 then
+    e-sampler[srcip][dstip][srcport][dstport][proto] <- 0
+  else drop
+else id`,
+		Opts: consts(nil),
+	},
+	{
+		Name:  "snort-flowbits",
+		Group: "Other",
+		// Policy 19: the Snort flowbits rule for Kindle web traffic.
+		Source: `
+srcip = 10.0.0.0/16;
+dstip = 172.16.0.0/12;
+dstport = 80;
+established[srcip][dstip][srcport][dstport][proto] = True;
+content = "Kindle/3.0+";
+kindle[srcip][dstip][srcport][dstport][proto] <- True`,
+		Opts: consts(nil),
+	},
+	{
+		Name:  "tcp-state-machine",
+		Group: "Other",
+		// Policy 20: bump-on-the-wire TCP state machine.
+		Source: `
+if tcp.flags = SYN & tcp-state[srcip][dstip][srcport][dstport][proto] = CLOSED then
+  tcp-state[srcip][dstip][srcport][dstport][proto] <- SYN-SENT
+else
+if tcp.flags = SYN-ACK & tcp-state[dstip][srcip][dstport][srcport][proto] = SYN-SENT then
+  tcp-state[dstip][srcip][dstport][srcport][proto] <- SYN-RECEIVED
+else
+if tcp.flags = ACK & tcp-state[srcip][dstip][srcport][dstport][proto] = SYN-RECEIVED then
+  tcp-state[srcip][dstip][srcport][dstport][proto] <- ESTABLISHED
+else
+if tcp.flags = FIN & tcp-state[srcip][dstip][srcport][dstport][proto] = ESTABLISHED then
+  tcp-state[srcip][dstip][srcport][dstport][proto] <- FIN-WAIT
+else
+if tcp.flags = FIN-ACK & tcp-state[dstip][srcip][dstport][srcport][proto] = FIN-WAIT then
+  tcp-state[dstip][srcip][dstport][srcport][proto] <- FIN-WAIT2
+else
+if tcp.flags = ACK & tcp-state[srcip][dstip][srcport][dstport][proto] = FIN-WAIT2 then
+  tcp-state[srcip][dstip][srcport][dstport][proto] <- CLOSED
+else
+if tcp.flags = RST & tcp-state[dstip][srcip][dstport][srcport][proto] = ESTABLISHED then
+  tcp-state[dstip][srcip][dstport][srcport][proto] <- CLOSED
+else
+  (tcp-state[dstip][srcip][dstport][srcport][proto] = ESTABLISHED
+   + tcp-state[srcip][dstip][srcport][dstport][proto] = ESTABLISHED)`,
+		Opts: consts(map[string]values.Value{
+			// The paper tests CLOSED against a fresh entry; CLOSED is the
+			// absent/False default.
+			"CLOSED": values.Bool(false),
+		}),
+	},
+	{
+		Name:   "port-monitor",
+		Group:  "Other",
+		Source: `count[inport]++`,
+		Opts:   consts(nil),
+	},
+	{
+		Name:   "honeypot-transaction",
+		Group:  "Other",
+		Source: HoneypotSrc,
+		Opts:   consts(nil),
+	},
+}
+
+// All returns the application catalogue sorted by name.
+func All() []App {
+	out := append([]App(nil), catalogue...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns one catalogued application.
+func ByName(name string) (App, bool) {
+	for _, a := range catalogue {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// Names lists the catalogue names in Table 3 order.
+func Names() []string {
+	out := make([]string, len(catalogue))
+	for i, a := range catalogue {
+		out[i] = a.Name
+	}
+	return out
+}

@@ -1,0 +1,425 @@
+package apps_test
+
+import (
+	"testing"
+
+	"snap/internal/apps"
+	"snap/internal/pkt"
+	"snap/internal/semantics"
+	"snap/internal/state"
+	"snap/internal/syntax"
+	"snap/internal/values"
+)
+
+// harness drives one app's policy over a packet sequence against the
+// formal semantics, tracking the store.
+type harness struct {
+	t      *testing.T
+	policy syntax.Policy
+	store  *state.Store
+}
+
+func newHarness(t *testing.T, name string) *harness {
+	t.Helper()
+	a, ok := apps.ByName(name)
+	if !ok {
+		t.Fatalf("app %s not in catalogue", name)
+	}
+	p, err := a.Policy()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return &harness{t: t, policy: p, store: state.NewStore()}
+}
+
+// send evaluates one packet and returns whether it passed (≥1 output).
+func (h *harness) send(fields map[pkt.Field]values.Value) bool {
+	h.t.Helper()
+	r, err := semantics.Eval(h.policy, h.store, pkt.New(fields))
+	if err != nil {
+		h.t.Fatalf("eval: %v", err)
+	}
+	h.store = r.Store
+	return len(r.Packets) > 0
+}
+
+func (h *harness) state(v string, idx ...values.Value) values.Value {
+	return h.store.Get(v, values.Tuple(idx))
+}
+
+func ip(a, b, c, d byte) values.Value { return values.IPv4(a, b, c, d) }
+
+func TestDNSTunnelDetectBehavior(t *testing.T) {
+	h := &harness{t: t, policy: apps.DNSTunnelDetect(), store: state.NewStore()}
+	client := ip(10, 0, 6, 9)
+	dnsResp := func(resolved values.Value) map[pkt.Field]values.Value {
+		return map[pkt.Field]values.Value{
+			pkt.SrcIP: ip(10, 0, 2, 53), pkt.DstIP: client,
+			pkt.SrcPort: values.Int(53), pkt.DNSRData: resolved,
+		}
+	}
+	// Two orphaned resolutions: suspicious but below threshold.
+	h.send(dnsResp(ip(10, 0, 3, 1)))
+	h.send(dnsResp(ip(10, 0, 3, 2)))
+	if h.state("blacklist", client).True() {
+		t.Fatal("blacklisted too early")
+	}
+	// The client uses one resolution: counter decrements.
+	h.send(map[pkt.Field]values.Value{
+		pkt.SrcIP: client, pkt.DstIP: ip(10, 0, 3, 1), pkt.SrcPort: values.Int(9999),
+	})
+	if got := h.state("susp-client", client); !values.Eq(got, values.Int(1)) {
+		t.Fatalf("susp-client = %v, want 1", got)
+	}
+	// Two more orphans cross the threshold (3).
+	h.send(dnsResp(ip(10, 0, 3, 3)))
+	h.send(dnsResp(ip(10, 0, 3, 4)))
+	if !h.state("blacklist", client).True() {
+		t.Fatal("tunneling client not blacklisted")
+	}
+}
+
+func TestStatefulFirewallBehavior(t *testing.T) {
+	h := newHarness(t, "stateful-firewall")
+	inside, outside := ip(10, 0, 6, 1), ip(10, 0, 2, 2)
+	probe := map[pkt.Field]values.Value{pkt.SrcIP: outside, pkt.DstIP: inside}
+	if h.send(probe) {
+		t.Fatal("unsolicited inbound packet passed")
+	}
+	h.send(map[pkt.Field]values.Value{pkt.SrcIP: inside, pkt.DstIP: outside})
+	if !h.send(probe) {
+		t.Fatal("reply to an inside-initiated connection blocked")
+	}
+	// A different outside host is still blocked.
+	if h.send(map[pkt.Field]values.Value{pkt.SrcIP: ip(10, 0, 3, 3), pkt.DstIP: inside}) {
+		t.Fatal("stranger passed the firewall")
+	}
+}
+
+func TestHeavyHitterBehavior(t *testing.T) {
+	h := newHarness(t, "heavy-hitter")
+	src := ip(10, 0, 1, 1)
+	syn := map[pkt.Field]values.Value{pkt.SrcIP: src, pkt.TCPFlags: values.String("SYN")}
+	for i := 0; i < apps.Threshold; i++ {
+		if h.state("heavy-hitter", src).True() {
+			t.Fatalf("flagged after %d SYNs", i)
+		}
+		h.send(syn)
+	}
+	if !h.state("heavy-hitter", src).True() {
+		t.Fatal("not flagged at threshold")
+	}
+	// Non-SYN traffic never counts.
+	h2 := newHarness(t, "heavy-hitter")
+	for i := 0; i < 10; i++ {
+		h2.send(map[pkt.Field]values.Value{pkt.SrcIP: src, pkt.TCPFlags: values.String("ACK")})
+	}
+	if h2.state("heavy-hitter", src).True() {
+		t.Fatal("ACKs counted as connections")
+	}
+}
+
+func TestSuperSpreaderBehavior(t *testing.T) {
+	h := newHarness(t, "super-spreader")
+	src := ip(10, 0, 1, 2)
+	syn := map[pkt.Field]values.Value{pkt.SrcIP: src, pkt.TCPFlags: values.String("SYN")}
+	fin := map[pkt.Field]values.Value{pkt.SrcIP: src, pkt.TCPFlags: values.String("FIN")}
+	// Opened connections closed promptly: never flagged.
+	for i := 0; i < 5; i++ {
+		h.send(syn)
+		h.send(fin)
+	}
+	if h.state("super-spreader", src).True() {
+		t.Fatal("balanced SYN/FIN flagged")
+	}
+	// Net spread crossing the threshold flags.
+	for i := 0; i < apps.Threshold; i++ {
+		h.send(syn)
+	}
+	if !h.state("super-spreader", src).True() {
+		t.Fatal("spreader not flagged")
+	}
+}
+
+func TestFTPMonitoringBehavior(t *testing.T) {
+	h := newHarness(t, "ftp-monitoring")
+	client, server := ip(10, 0, 1, 5), ip(10, 0, 2, 21)
+	data := map[pkt.Field]values.Value{
+		pkt.SrcIP: server, pkt.DstIP: client,
+		pkt.SrcPort: values.Int(20), pkt.FTPPort: values.Int(2001),
+	}
+	if h.send(data) {
+		t.Fatal("data channel before PORT announcement")
+	}
+	h.send(map[pkt.Field]values.Value{
+		pkt.SrcIP: client, pkt.DstIP: server,
+		pkt.DstPort: values.Int(21), pkt.FTPPort: values.Int(2001),
+	})
+	if !h.send(data) {
+		t.Fatal("announced data channel blocked")
+	}
+	// A different announced port stays blocked.
+	other := map[pkt.Field]values.Value{
+		pkt.SrcIP: server, pkt.DstIP: client,
+		pkt.SrcPort: values.Int(20), pkt.FTPPort: values.Int(2002),
+	}
+	if h.send(other) {
+		t.Fatal("unannounced data port passed")
+	}
+}
+
+func TestDNSAmplificationBehavior(t *testing.T) {
+	h := newHarness(t, "dns-amplification")
+	victim, resolver := ip(10, 0, 6, 1), ip(10, 0, 2, 53)
+	spoofed := map[pkt.Field]values.Value{
+		pkt.SrcIP: resolver, pkt.DstIP: victim, pkt.SrcPort: values.Int(53),
+	}
+	if h.send(spoofed) {
+		t.Fatal("unsolicited DNS response passed")
+	}
+	h.send(map[pkt.Field]values.Value{
+		pkt.SrcIP: victim, pkt.DstIP: resolver, pkt.DstPort: values.Int(53),
+	})
+	if !h.send(spoofed) {
+		t.Fatal("legitimate DNS response dropped")
+	}
+}
+
+func TestUDPFloodBehavior(t *testing.T) {
+	h := newHarness(t, "udp-flood")
+	src := ip(10, 0, 1, 66)
+	udp := map[pkt.Field]values.Value{pkt.SrcIP: src, pkt.Proto: values.Int(17)}
+	passes := 0
+	for i := 0; i < apps.Threshold; i++ {
+		if h.send(udp) {
+			passes++
+		}
+	}
+	// The threshold packet itself is dropped ("...<- True; drop").
+	if passes != apps.Threshold-1 {
+		t.Fatalf("passes before flagging = %d, want %d", passes, apps.Threshold-1)
+	}
+	if !h.state("udp-flooder", src).True() {
+		t.Fatal("flooder not flagged")
+	}
+}
+
+func TestSelectiveDroppingBehavior(t *testing.T) {
+	h := newHarness(t, "selective-dropping")
+	flow := map[pkt.Field]values.Value{
+		pkt.SrcIP: ip(1, 1, 1, 1), pkt.DstIP: ip(2, 2, 2, 2),
+		pkt.SrcPort: values.Int(1), pkt.DstPort: values.Int(2),
+	}
+	iframe := map[pkt.Field]values.Value{pkt.MPEGFrameType: values.String("Iframe")}
+	bframe := map[pkt.Field]values.Value{pkt.MPEGFrameType: values.String("Bframe")}
+	for k, v := range flow {
+		iframe[k], bframe[k] = v, v
+	}
+	// Before any I-frame the dependency budget is 0: B-frames drop.
+	if h.send(bframe) {
+		t.Fatal("orphan B-frame passed")
+	}
+	h.send(iframe) // budget ← 14
+	for i := 0; i < 14; i++ {
+		if !h.send(bframe) {
+			t.Fatalf("dependent frame %d dropped early", i)
+		}
+	}
+	if h.send(bframe) {
+		t.Fatal("budget exhausted but frame passed")
+	}
+}
+
+func TestSidejackBehavior(t *testing.T) {
+	h := newHarness(t, "sidejack-detect")
+	server := ip(10, 0, 5, 80)
+	legit := map[pkt.Field]values.Value{
+		pkt.SrcIP: ip(10, 0, 1, 1), pkt.DstIP: server,
+		pkt.SessionID: values.Int(7), pkt.HTTPUserAgent: values.String("ua-legit"),
+	}
+	hijack := map[pkt.Field]values.Value{
+		pkt.SrcIP: ip(10, 0, 3, 3), pkt.DstIP: server,
+		pkt.SessionID: values.Int(7), pkt.HTTPUserAgent: values.String("ua-evil"),
+	}
+	if !h.send(legit) {
+		t.Fatal("session establishment blocked")
+	}
+	if h.send(hijack) {
+		t.Fatal("sidejacked session passed")
+	}
+	if !h.send(legit) {
+		t.Fatal("legitimate continuation blocked")
+	}
+}
+
+func TestSpamDetectBehavior(t *testing.T) {
+	h := newHarness(t, "spam-detect")
+	mta := values.String("mta1")
+	mail := map[pkt.Field]values.Value{pkt.SMTPMTA: mta}
+	for i := 0; i < apps.Threshold; i++ {
+		h.send(mail)
+	}
+	if got := h.state("MTA-dir", mta); !values.Eq(got, values.String("Spammer")) {
+		t.Fatalf("MTA-dir = %v, want Spammer", got)
+	}
+}
+
+func TestDNSTTLChangeBehavior(t *testing.T) {
+	h := newHarness(t, "dns-ttl-change")
+	rr := ip(10, 0, 9, 9)
+	resp := func(ttl int64) map[pkt.Field]values.Value {
+		return map[pkt.Field]values.Value{
+			pkt.SrcPort: values.Int(53), pkt.DNSRData: rr, pkt.DNSTTL: values.Int(ttl),
+		}
+	}
+	h.send(resp(60))
+	h.send(resp(60)) // unchanged
+	h.send(resp(30)) // change 1
+	h.send(resp(90)) // change 2
+	if got := h.state("ttl-change", rr); !values.Eq(got, values.Int(2)) {
+		t.Fatalf("ttl-change = %v, want 2", got)
+	}
+}
+
+func TestManyIPDomainsBehavior(t *testing.T) {
+	h := newHarness(t, "many-ip-domains")
+	shared := ip(10, 0, 9, 1)
+	resp := func(domain string) map[pkt.Field]values.Value {
+		return map[pkt.Field]values.Value{
+			pkt.SrcPort: values.Int(53), pkt.DNSRData: shared,
+			pkt.DNSQName: values.String(domain),
+		}
+	}
+	h.send(resp("a.com"))
+	h.send(resp("a.com")) // duplicate pair does not count twice
+	h.send(resp("b.com"))
+	if h.state("mal-ip-list", shared).True() {
+		t.Fatal("flagged below threshold")
+	}
+	h.send(resp("c.com"))
+	if !h.state("mal-ip-list", shared).True() {
+		t.Fatal("shared IP not flagged at threshold")
+	}
+}
+
+func TestTCPStateMachineBehavior(t *testing.T) {
+	h := newHarness(t, "tcp-state-machine")
+	a, b := ip(10, 0, 1, 1), ip(10, 0, 2, 2)
+	fwd := func(flags string) map[pkt.Field]values.Value {
+		return map[pkt.Field]values.Value{
+			pkt.SrcIP: a, pkt.DstIP: b, pkt.SrcPort: values.Int(1000),
+			pkt.DstPort: values.Int(80), pkt.Proto: values.Int(6),
+			pkt.TCPFlags: values.String(flags),
+		}
+	}
+	rev := func(flags string) map[pkt.Field]values.Value {
+		return map[pkt.Field]values.Value{
+			pkt.SrcIP: b, pkt.DstIP: a, pkt.SrcPort: values.Int(80),
+			pkt.DstPort: values.Int(1000), pkt.Proto: values.Int(6),
+			pkt.TCPFlags: values.String(flags),
+		}
+	}
+	conn := values.Tuple{a, b, values.Int(1000), values.Int(80), values.Int(6)}
+
+	h.send(fwd("SYN"))
+	if got := h.store.Get("tcp-state", conn); !values.Eq(got, values.String("SYN-SENT")) {
+		t.Fatalf("after SYN: %v", got)
+	}
+	h.send(rev("SYN-ACK"))
+	if got := h.store.Get("tcp-state", conn); !values.Eq(got, values.String("SYN-RECEIVED")) {
+		t.Fatalf("after SYN-ACK: %v", got)
+	}
+	h.send(fwd("ACK"))
+	if got := h.store.Get("tcp-state", conn); !values.Eq(got, values.String("ESTABLISHED")) {
+		t.Fatalf("after ACK: %v", got)
+	}
+	h.send(fwd("FIN"))
+	h.send(rev("FIN-ACK"))
+	h.send(fwd("ACK"))
+	if got := h.store.Get("tcp-state", conn); !values.Eq(got, values.Bool(false)) {
+		t.Fatalf("after close: %v, want CLOSED (default)", got)
+	}
+}
+
+func TestSnortFlowbitsBehavior(t *testing.T) {
+	h := newHarness(t, "snort-flowbits")
+	conn := map[pkt.Field]values.Value{
+		pkt.SrcIP: ip(10, 0, 1, 1), pkt.DstIP: ip(172, 16, 5, 5),
+		pkt.SrcPort: values.Int(5000), pkt.DstPort: values.Int(80),
+		pkt.Proto: values.Int(6), pkt.Content: values.String("Kindle/3.0+"),
+	}
+	// The flow is not yet established: the rule does not fire.
+	if h.send(conn) {
+		t.Fatal("rule fired without established flow")
+	}
+	// Establish, then the rule fires and sets the kindle flowbit.
+	h.store.Set("established", values.Tuple{
+		ip(10, 0, 1, 1), ip(172, 16, 5, 5), values.Int(5000), values.Int(80), values.Int(6),
+	}, values.Bool(true))
+	if !h.send(conn) {
+		t.Fatal("established Kindle flow blocked")
+	}
+	bit := h.store.Get("kindle", values.Tuple{
+		ip(10, 0, 1, 1), ip(172, 16, 5, 5), values.Int(5000), values.Int(80), values.Int(6),
+	})
+	if !bit.True() {
+		t.Fatal("kindle flowbit not set")
+	}
+}
+
+func TestFlowSizeSamplingBehavior(t *testing.T) {
+	h := newHarness(t, "flow-size-sampling")
+	flow := map[pkt.Field]values.Value{
+		pkt.SrcIP: ip(1, 1, 1, 1), pkt.DstIP: ip(2, 2, 2, 2),
+		pkt.SrcPort: values.Int(1), pkt.DstPort: values.Int(2), pkt.Proto: values.Int(6),
+	}
+	// Small flows sample 1 in 5: exactly one of the first five packets
+	// passes (the fifth).
+	passed := 0
+	for i := 0; i < 5; i++ {
+		if h.send(flow) {
+			passed++
+		}
+	}
+	if passed != 1 {
+		t.Fatalf("small flow passed %d of 5, want 1", passed)
+	}
+}
+
+func TestHoneypotTransaction(t *testing.T) {
+	h := &harness{t: t, policy: apps.Honeypot(), store: state.NewStore()}
+	h.send(map[pkt.Field]values.Value{
+		pkt.Inport: values.Int(2), pkt.SrcIP: ip(10, 0, 4, 4),
+		pkt.DstIP: ip(10, 0, 3, 7), pkt.DstPort: values.Int(2323),
+	})
+	if got := h.state("hon-ip", values.Int(2)); !values.Eq(got, ip(10, 0, 4, 4)) {
+		t.Fatalf("hon-ip = %v", got)
+	}
+	if got := h.state("hon-dstport", values.Int(2)); !values.Eq(got, values.Int(2323)) {
+		t.Fatalf("hon-dstport = %v", got)
+	}
+	// Outside the honeypot prefix (10.0.3.0/25): untouched.
+	h.send(map[pkt.Field]values.Value{
+		pkt.Inport: values.Int(3), pkt.SrcIP: ip(10, 0, 4, 5),
+		pkt.DstIP: ip(10, 0, 3, 200), pkt.DstPort: values.Int(1),
+	})
+	if got := h.state("hon-ip", values.Int(3)); !got.IsNone() && !values.Eq(got, state.Default) {
+		t.Fatalf("honeypot recorded out-of-prefix packet: %v", got)
+	}
+}
+
+func TestCatalogueComplete(t *testing.T) {
+	names := apps.Names()
+	if len(names) < 21 {
+		t.Fatalf("catalogue has %d entries, want ≥ 21", len(names))
+	}
+	groups := map[string]int{}
+	for _, a := range apps.All() {
+		groups[a.Group]++
+	}
+	for _, g := range []string{"Chimera", "FAST", "Bohatei", "Other"} {
+		if groups[g] == 0 {
+			t.Errorf("no apps in group %s (Table 3 sources)", g)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package bench
+
+import (
+	"snap/internal/deps"
+	"snap/internal/pkt"
+	"snap/internal/syntax"
+	"snap/internal/xfdd"
+)
+
+func dstIPField() pkt.Field { return pkt.DstIP }
+
+func translate(p syntax.Policy) (*xfdd.Diagram, *deps.Order, error) {
+	return xfdd.Translate(p)
+}

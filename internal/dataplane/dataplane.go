@@ -1,0 +1,208 @@
+// Package dataplane simulates the distributed network executing a compiled
+// SNAP program: one NetASM switch VM per physical switch, wired by the
+// topology, with packets entering at OBS ports carrying the SNAP-header of
+// §4.5. It is the end-to-end check that compilation preserves the
+// language's one-big-switch semantics: packets injected here must exit the
+// same ports with the same headers, and leave behind the same global state,
+// as the eval function says they should.
+package dataplane
+
+import (
+	"fmt"
+
+	"snap/internal/netasm"
+	"snap/internal/pkt"
+	"snap/internal/rules"
+	"snap/internal/state"
+	"snap/internal/topo"
+)
+
+// Delivery is a packet leaving the network at an OBS port.
+type Delivery struct {
+	Port   int
+	Packet pkt.Packet
+}
+
+// Stats counts simulator activity.
+type Stats struct {
+	Injected  int
+	Delivered int
+	Dropped   int
+	Hops      int
+	Suspends  int
+}
+
+// Network is the simulated data plane.
+type Network struct {
+	cfg      *rules.Config
+	switches map[topo.NodeID]*netasm.Switch
+	// MaxHops guards against forwarding loops.
+	MaxHops int
+	Stats   Stats
+}
+
+// New instantiates switch VMs for a configuration.
+func New(cfg *rules.Config) *Network {
+	n := &Network{
+		cfg:      cfg,
+		switches: map[topo.NodeID]*netasm.Switch{},
+		MaxHops:  16 * (cfg.Topo.Switches + 2),
+	}
+	for id, sc := range cfg.Switches {
+		n.switches[id] = netasm.NewSwitch(int(id), sc.Prog, sc.Owns)
+	}
+	return n
+}
+
+type inflight struct {
+	at   topo.NodeID
+	sp   netasm.SimPacket
+	hops int
+}
+
+// Inject sends one packet into the network at an OBS ingress port and runs
+// the plane to quiescence, returning the deliveries (multicast may produce
+// several).
+func (n *Network) Inject(port int, p pkt.Packet) ([]Delivery, error) {
+	pt, ok := n.cfg.Topo.PortByID(port)
+	if !ok {
+		return nil, fmt.Errorf("dataplane: unknown ingress port %d", port)
+	}
+	n.Stats.Injected++
+	first := netasm.SimPacket{
+		Pkt: p,
+		Hdr: netasm.Header{
+			OBSIn:  port,
+			OBSOut: -1,
+			Node:   n.cfg.RootID,
+			Seq:    -1,
+			Phase:  netasm.PhaseEval,
+		},
+	}
+	queue := []inflight{{at: pt.Switch, sp: first}}
+	var out []Delivery
+	seen := map[string]bool{} // eval's output is a set: dedupe multicast copies
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.hops > n.MaxHops {
+			return nil, fmt.Errorf("dataplane: hop limit exceeded at switch %d (forwarding loop?)", cur.at)
+		}
+		sw := n.switches[cur.at]
+		results, err := sw.Run(cur.sp)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			switch r.Outcome {
+			case netasm.Dropped:
+				n.Stats.Dropped++
+
+			case netasm.Delivered:
+				n.Stats.Delivered++
+				out = appendDelivery(out, seen, Delivery{Port: r.Packet.Hdr.OBSOut, Packet: r.Packet.Pkt})
+
+			case netasm.NeedState:
+				n.Stats.Suspends++
+				target, ok := n.targetFor(r)
+				if !ok {
+					return nil, fmt.Errorf("dataplane: no owner for state of packet at switch %d", cur.at)
+				}
+				if target == cur.at {
+					return nil, fmt.Errorf("dataplane: suspended for local state at switch %d", cur.at)
+				}
+				next, err := n.forward(cur.at, r.Packet, target)
+				if err != nil {
+					return nil, err
+				}
+				n.Stats.Hops++
+				queue = append(queue, inflight{at: next, sp: r.Packet, hops: cur.hops + 1})
+
+			case netasm.ToEgress:
+				eg, ok := n.cfg.Topo.PortByID(r.Packet.Hdr.OBSOut)
+				if !ok {
+					// Outport set to a value that is not an OBS port: the
+					// packet leaves the system nowhere; count as dropped.
+					n.Stats.Dropped++
+					continue
+				}
+				if eg.Switch == cur.at {
+					n.Stats.Delivered++
+					out = appendDelivery(out, seen, Delivery{Port: eg.ID, Packet: r.Packet.Pkt})
+					continue
+				}
+				next, err := n.forward(cur.at, r.Packet, eg.Switch)
+				if err != nil {
+					return nil, err
+				}
+				n.Stats.Hops++
+				queue = append(queue, inflight{at: next, sp: r.Packet, hops: cur.hops + 1})
+			}
+		}
+	}
+	return out, nil
+}
+
+// appendDelivery adds a delivery unless an identical packet already exited
+// the same port for this injection: the eval semantics returns packet
+// *sets*, so multicast copies that end up indistinguishable collapse.
+func appendDelivery(out []Delivery, seen map[string]bool, d Delivery) []Delivery {
+	key := fmt.Sprintf("%d|%s", d.Port, d.Packet.Key())
+	if seen[key] {
+		return out
+	}
+	seen[key] = true
+	return append(out, d)
+}
+
+// targetFor resolves the switch a suspended packet must reach next: the
+// owner of the suspending test's variable, or of the first pending write.
+func (n *Network) targetFor(r netasm.Result) (topo.NodeID, bool) {
+	v := r.StateVar
+	if v == "" && len(r.Packet.Hdr.Pending) > 0 {
+		v = r.Packet.Hdr.Pending[0].Var
+	}
+	node, ok := n.cfg.Placement[v]
+	return node, ok
+}
+
+// forward picks the outgoing link from `at` toward `target`. A packet
+// still owing state visits (evaluation suspends or pending writes) follows
+// the shortest-path next hop toward the owning switch — the Appendix D
+// fallback, guaranteed to make progress. Once only the egress remains, the
+// optimizer's (u,v) match-action entry is preferred.
+func (n *Network) forward(at topo.NodeID, sp netasm.SimPacket, target topo.NodeID) (topo.NodeID, error) {
+	sc := n.cfg.Switches[at]
+	if sp.Hdr.OBSOut >= 0 && sp.Hdr.Phase == netasm.PhaseDeliver && len(sp.Hdr.Pending) == 0 {
+		if li, ok := sc.RouteNext[[2]int{sp.Hdr.OBSIn, sp.Hdr.OBSOut}]; ok {
+			return n.cfg.Topo.Links[li].To, nil
+		}
+	}
+	li := sc.SPNext[target]
+	if li < 0 {
+		return 0, fmt.Errorf("dataplane: switch %d cannot reach switch %d", at, target)
+	}
+	return n.cfg.Topo.Links[li].To, nil
+}
+
+// GlobalState unions the per-switch state tables. Placement puts each
+// variable on exactly one switch, so the union is well defined; it is the
+// distributed counterpart of the one-big-switch store.
+func (n *Network) GlobalState() *state.Store {
+	out := state.NewStore()
+	for _, sw := range n.switches {
+		for _, v := range sw.Tables.Vars() {
+			out.CopyVar(sw.Tables, v)
+		}
+	}
+	return out
+}
+
+// SwitchTable exposes one switch's tables (tests and diagnostics).
+func (n *Network) SwitchTable(id topo.NodeID) *state.Store {
+	if sw, ok := n.switches[id]; ok {
+		return sw.Tables
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package dataplane_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snap/internal/apps"
+	"snap/internal/dataplane"
+	"snap/internal/pkt"
+	"snap/internal/place"
+	"snap/internal/psmap"
+	"snap/internal/rules"
+	"snap/internal/state"
+	"snap/internal/syntax"
+	"snap/internal/topo"
+	"snap/internal/traffic"
+	"snap/internal/values"
+	"snap/internal/xfdd"
+)
+
+// deploy compiles a policy end to end onto a topology.
+func deploy(t *testing.T, p syntax.Policy, net *topo.Topology, fixed map[string]topo.NodeID) (*dataplane.Network, *xfdd.Diagram) {
+	t.Helper()
+	d, order, err := xfdd.Translate(p)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	in := place.Inputs{
+		Topo:    net,
+		Demands: traffic.Gravity(net, 100, 9),
+		Mapping: psmap.Build(d, net.PortIDs()),
+		Order:   order,
+	}
+	var res *place.Result
+	if fixed != nil {
+		res, err = place.SolveTE(in, fixed, place.Options{})
+	} else {
+		res, err = place.Solve(in, place.Options{Method: place.Heuristic})
+	}
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	cfg, err := rules.Generate(d, net, res.Placement, res.Routes)
+	if err != nil {
+		t.Fatalf("rules: %v", err)
+	}
+	return dataplane.New(cfg), d
+}
+
+func campusPacket(rng *rand.Rand) (int, pkt.Packet) {
+	port := 1 + rng.Intn(6)
+	ip := func(subnet int) values.Value {
+		return values.IPv4(10, 0, byte(subnet), byte(1+rng.Intn(3)))
+	}
+	p := pkt.New(map[pkt.Field]values.Value{
+		pkt.Inport:   values.Int(int64(port)),
+		pkt.SrcIP:    ip(port), // honors the assumption policy
+		pkt.DstIP:    ip(1 + rng.Intn(6)),
+		pkt.SrcPort:  values.Int([]int64{53, 80, 1234}[rng.Intn(3)]),
+		pkt.DstPort:  values.Int([]int64{53, 80, 1234}[rng.Intn(3)]),
+		pkt.DNSRData: ip(1 + rng.Intn(6)),
+	})
+	return port, p
+}
+
+// checkPlane injects a trace and requires, after every packet, identical
+// deliveries and identical global state between the distributed plane and
+// the one-big-switch xFDD interpreter.
+func checkPlane(t *testing.T, net *dataplane.Network, d *xfdd.Diagram, topology *topo.Topology, trace []struct {
+	port int
+	p    pkt.Packet
+}) {
+	t.Helper()
+	ref := state.NewStore()
+	for i, tp := range trace {
+		got, err := net.Inject(tp.port, tp.p)
+		if err != nil {
+			t.Fatalf("packet %d: inject: %v", i, err)
+		}
+		wantPkts, newStore, err := d.Eval(ref, tp.p)
+		if err != nil {
+			t.Fatalf("packet %d: ref eval: %v", i, err)
+		}
+		ref = newStore
+
+		// Expected deliveries: output packets whose outport is a real port.
+		want := map[string]int{}
+		for _, wp := range wantPkts {
+			out := wp.Field(pkt.Outport)
+			if out.Kind != values.KindInt {
+				continue
+			}
+			if _, ok := topology.PortByID(int(out.Num)); !ok {
+				continue
+			}
+			want[wp.Key()]++
+		}
+		gotSet := map[string]int{}
+		for _, dl := range got {
+			gotSet[dl.Packet.Key()]++
+			out := dl.Packet.Field(pkt.Outport)
+			if out.Kind != values.KindInt || int(out.Num) != dl.Port {
+				t.Fatalf("packet %d delivered at port %d but header says %s", i, dl.Port, out)
+			}
+		}
+		if len(want) != len(gotSet) {
+			t.Fatalf("packet %d (%v): want %d deliveries %v, got %d %v", i, tp.p, len(want), want, len(gotSet), gotSet)
+		}
+		for k := range want {
+			if gotSet[k] == 0 {
+				t.Fatalf("packet %d: missing delivery %s", i, k)
+			}
+		}
+		if !net.GlobalState().Equal(ref) {
+			t.Fatalf("packet %d: state divergence\nplane:\n%s\nref:\n%s", i, net.GlobalState(), ref)
+		}
+	}
+}
+
+// TestCampusEndToEnd runs the paper's running composition over the Figure 2
+// campus and checks full equivalence with the OBS semantics.
+func TestCampusEndToEnd(t *testing.T) {
+	netw := topo.Campus(1000)
+	p := syntax.Then(
+		apps.Assumption(6),
+		syntax.Then(
+			syntax.Par(apps.DNSTunnelDetect(), apps.Monitor()),
+			apps.AssignEgress(6),
+		),
+	)
+	plane, d := deploy(t, p, netw, nil)
+	rng := rand.New(rand.NewSource(3))
+	var trace []struct {
+		port int
+		p    pkt.Packet
+	}
+	for i := 0; i < 400; i++ {
+		port, pk := campusPacket(rng)
+		trace = append(trace, struct {
+			port int
+			p    pkt.Packet
+		}{port, pk})
+	}
+	checkPlane(t, plane, d, netw, trace)
+}
+
+// TestStateAtC6 reproduces the §4.5 walk-through: with all state pinned on
+// C6, a DNS response entering port 1 is processed up to the state test at
+// the ingress, continues at C6 (which ends up holding the state), and exits
+// at port 6 via D4.
+func TestStateAtC6(t *testing.T) {
+	netw := topo.Campus(1000)
+	p := syntax.Then(
+		apps.Assumption(6),
+		syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(6)),
+	)
+	const c6 = topo.NodeID(11)
+	fixed := map[string]topo.NodeID{"orphan": c6, "susp-client": c6, "blacklist": c6}
+	plane, d := deploy(t, p, netw, fixed)
+
+	dns := pkt.New(map[pkt.Field]values.Value{
+		pkt.Inport:   values.Int(1),
+		pkt.SrcIP:    values.IPv4(10, 0, 1, 1),
+		pkt.DstIP:    values.IPv4(10, 0, 6, 6),
+		pkt.SrcPort:  values.Int(53),
+		pkt.DstPort:  values.Int(9999),
+		pkt.DNSRData: values.IPv4(10, 0, 2, 2),
+	})
+	got, err := plane.Inject(1, dns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Port != 6 {
+		t.Fatalf("want delivery at port 6, got %v", got)
+	}
+	// The state lives on C6, not on the edge.
+	if tbl := plane.SwitchTable(c6); len(tbl.Vars()) == 0 {
+		t.Fatalf("C6 holds no state after a stateful packet")
+	}
+	ref := state.NewStore()
+	if _, ref, err = d.Eval(ref, dns); err != nil {
+		t.Fatal(err)
+	} else if !plane.GlobalState().Equal(ref) {
+		t.Fatalf("state mismatch:\nplane %s\nref %s", plane.GlobalState(), ref)
+	}
+}
+
+// TestStatefulFirewallPlane checks a drop-heavy policy: outside packets
+// blocked until an inside connection establishes state, across switches.
+func TestStatefulFirewallPlane(t *testing.T) {
+	netw := topo.Campus(1000)
+	fw, _ := apps.ByName("stateful-firewall")
+	p := syntax.Then(
+		apps.Assumption(6),
+		syntax.Then(fw.MustPolicy(), apps.AssignEgress(6)),
+	)
+	plane, d := deploy(t, p, netw, nil)
+
+	inside := pkt.New(map[pkt.Field]values.Value{
+		pkt.Inport:  values.Int(6),
+		pkt.SrcIP:   values.IPv4(10, 0, 6, 1),
+		pkt.DstIP:   values.IPv4(10, 0, 2, 9),
+		pkt.SrcPort: values.Int(4242),
+		pkt.DstPort: values.Int(80),
+	})
+	outsideReply := pkt.New(map[pkt.Field]values.Value{
+		pkt.Inport:  values.Int(2),
+		pkt.SrcIP:   values.IPv4(10, 0, 2, 9),
+		pkt.DstIP:   values.IPv4(10, 0, 6, 1),
+		pkt.SrcPort: values.Int(80),
+		pkt.DstPort: values.Int(4242),
+	})
+	strangerProbe := pkt.New(map[pkt.Field]values.Value{
+		pkt.Inport:  values.Int(3),
+		pkt.SrcIP:   values.IPv4(10, 0, 3, 3),
+		pkt.DstIP:   values.IPv4(10, 0, 6, 1),
+		pkt.SrcPort: values.Int(1000),
+		pkt.DstPort: values.Int(22),
+	})
+
+	ref := state.NewStore()
+	step := func(port int, p pkt.Packet, wantDeliveries int) {
+		t.Helper()
+		got, err := plane.Inject(port, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != wantDeliveries {
+			t.Fatalf("inject at %d: want %d deliveries, got %v", port, wantDeliveries, got)
+		}
+		_, ref2, err := d.Eval(ref, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref = ref2
+		if !plane.GlobalState().Equal(ref) {
+			t.Fatalf("state divergence after port %d", port)
+		}
+	}
+
+	step(3, strangerProbe, 0) // blocked: no established entry
+	step(6, inside, 1)        // inside opens the connection
+	step(2, outsideReply, 1)  // reply now allowed
+	step(3, strangerProbe, 0) // still blocked
+}

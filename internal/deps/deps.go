@@ -1,0 +1,335 @@
+// Package deps implements SNAP's state dependency analysis (§4.1 and
+// Appendix B of the paper): the read/write sets r(p) and w(p), the st-dep
+// relation, the dependency graph over state variables, its strongly
+// connected components, and the resulting total order used to arrange state
+// tests in xFDDs and to drive placement (tied/dep sets of the MILP).
+package deps
+
+import (
+	"sort"
+
+	"snap/internal/syntax"
+)
+
+// ReadSet returns r(p): the state variables p may read.
+func ReadSet(p syntax.Policy) map[string]bool {
+	out := map[string]bool{}
+	collect(p, out, nil)
+	return out
+}
+
+// WriteSet returns w(p): the state variables p may write.
+func WriteSet(p syntax.Policy) map[string]bool {
+	out := map[string]bool{}
+	collect(p, nil, out)
+	return out
+}
+
+func collect(p syntax.Policy, reads, writes map[string]bool) {
+	switch n := p.(type) {
+	case syntax.StateTest:
+		if reads != nil {
+			reads[n.Var] = true
+		}
+	case syntax.Not:
+		collect(n.X, reads, writes)
+	case syntax.Or:
+		collect(n.X, reads, writes)
+		collect(n.Y, reads, writes)
+	case syntax.And:
+		collect(n.X, reads, writes)
+		collect(n.Y, reads, writes)
+	case syntax.SetState:
+		if writes != nil {
+			writes[n.Var] = true
+		}
+	case syntax.Incr:
+		// Increment both reads and writes the entry; the formal semantics
+		// logs it as a write, but for dependency purposes the old value is
+		// consumed, so it behaves as read+write.
+		if writes != nil {
+			writes[n.Var] = true
+		}
+		if reads != nil {
+			reads[n.Var] = true
+		}
+	case syntax.Decr:
+		if writes != nil {
+			writes[n.Var] = true
+		}
+		if reads != nil {
+			reads[n.Var] = true
+		}
+	case syntax.Parallel:
+		collect(n.P, reads, writes)
+		collect(n.Q, reads, writes)
+	case syntax.Seq:
+		collect(n.P, reads, writes)
+		collect(n.Q, reads, writes)
+	case syntax.If:
+		collect(n.Cond, reads, writes)
+		collect(n.Then, reads, writes)
+		collect(n.Else, reads, writes)
+	case syntax.Atomic:
+		collect(n.P, reads, writes)
+	}
+}
+
+// Vars returns every state variable mentioned by p, sorted.
+func Vars(p syntax.Policy) []string {
+	set := ReadSet(p)
+	for s := range WriteSet(p) {
+		set[s] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Graph is the state dependency graph: Edges[s][t] means t depends on s
+// (the program may write t after reading s), so any physical realization
+// must place s before t on the packet's path.
+type Graph struct {
+	Nodes []string
+	Edges map[string]map[string]bool
+}
+
+func newGraph() *Graph { return &Graph{Edges: map[string]map[string]bool{}} }
+
+func (g *Graph) addNode(s string) {
+	if _, ok := g.Edges[s]; !ok {
+		g.Edges[s] = map[string]bool{}
+		g.Nodes = append(g.Nodes, s)
+	}
+}
+
+func (g *Graph) addEdge(s, t string) {
+	g.addNode(s)
+	g.addNode(t)
+	g.Edges[s][t] = true
+}
+
+func (g *Graph) addProduct(from, to map[string]bool) {
+	for s := range from {
+		for t := range to {
+			g.addEdge(s, t)
+		}
+	}
+}
+
+// Analyze builds the dependency graph of p per the st-dep function of
+// Appendix B:
+//
+//	st-dep(p + q)            = st-dep(p) ∪ st-dep(q)
+//	st-dep(p ; q)            = (r(p) × w(q)) ∪ st-dep(p) ∪ st-dep(q)
+//	st-dep(if a then p else q) = (r(a) × (w(p) ∪ w(q))) ∪ st-dep(p) ∪ st-dep(q)
+//	st-dep(atomic(p))        = (r(p) ∪ w(p)) × (r(p) ∪ w(p))
+func Analyze(p syntax.Policy) *Graph {
+	g := newGraph()
+	for _, s := range Vars(p) {
+		g.addNode(s)
+	}
+	stDep(p, g)
+	sort.Strings(g.Nodes)
+	return g
+}
+
+func stDep(p syntax.Policy, g *Graph) {
+	switch n := p.(type) {
+	case syntax.Parallel:
+		stDep(n.P, g)
+		stDep(n.Q, g)
+	case syntax.Seq:
+		g.addProduct(ReadSet(n.P), WriteSet(n.Q))
+		stDep(n.P, g)
+		stDep(n.Q, g)
+	case syntax.If:
+		w := WriteSet(n.Then)
+		for s := range WriteSet(n.Else) {
+			w[s] = true
+		}
+		g.addProduct(ReadSet(n.Cond), w)
+		stDep(n.Then, g)
+		stDep(n.Else, g)
+	case syntax.Atomic:
+		all := ReadSet(n.P)
+		for s := range WriteSet(n.P) {
+			all[s] = true
+		}
+		g.addProduct(all, all)
+		stDep(n.P, g)
+	case syntax.Incr, syntax.Decr:
+		// s[e]++ reads then writes s: a self-dependency, making the
+		// variable inter-dependent with itself (harmless for ordering).
+		var v string
+		if i, ok := n.(syntax.Incr); ok {
+			v = i.Var
+		} else {
+			v = n.(syntax.Decr).Var
+		}
+		g.addEdge(v, v)
+	}
+}
+
+// Order is the outcome of condensing the dependency graph: a total order
+// over state variables (§4.2), the SCC index of each variable, and the
+// tied/dep relations consumed by the MILP (§4.4).
+type Order struct {
+	// Vars lists all state variables in their total order.
+	Vars []string
+	// Pos maps a variable to its position in Vars.
+	Pos map[string]int
+	// SCC maps a variable to its component id; components are numbered in
+	// topological order of the condensation.
+	SCC map[string]int
+	// Tied holds pairs of distinct variables in the same SCC (must be
+	// co-located).
+	Tied [][2]string
+	// Dep holds ordered pairs (s, t) with s before t, s and t in different
+	// SCCs connected by an edge chain (t's placement must come after s on
+	// flows needing both).
+	Dep [][2]string
+}
+
+// Before reports whether s must precede t in the total order.
+func (o *Order) Before(s, t string) bool { return o.Pos[s] < o.Pos[t] }
+
+// BuildOrder condenses g into SCCs (Tarjan), topologically sorts the
+// condensation, fixes a deterministic order within each SCC, and derives
+// the tied and dep relations.
+func BuildOrder(g *Graph) *Order {
+	sccs := tarjanSCC(g)
+
+	// Topologically sort components. Tarjan emits SCCs in reverse
+	// topological order of the condensation; reverse for forward order,
+	// then renumber deterministically.
+	for i, j := 0, len(sccs)-1; i < j; i, j = i+1, j-1 {
+		sccs[i], sccs[j] = sccs[j], sccs[i]
+	}
+
+	o := &Order{Pos: map[string]int{}, SCC: map[string]int{}}
+	for id, comp := range sccs {
+		sort.Strings(comp)
+		for _, s := range comp {
+			o.SCC[s] = id
+			o.Pos[s] = len(o.Vars)
+			o.Vars = append(o.Vars, s)
+		}
+		for i := 0; i < len(comp); i++ {
+			for j := i + 1; j < len(comp); j++ {
+				o.Tied = append(o.Tied, [2]string{comp[i], comp[j]})
+			}
+		}
+	}
+
+	// dep: transitive reachability between distinct components.
+	reach := transitiveReach(g)
+	for _, s := range g.Nodes {
+		for t := range reach[s] {
+			if o.SCC[s] != o.SCC[t] {
+				o.Dep = append(o.Dep, [2]string{s, t})
+			}
+		}
+	}
+	sort.Slice(o.Dep, func(i, j int) bool {
+		if o.Dep[i][0] != o.Dep[j][0] {
+			return o.Dep[i][0] < o.Dep[j][0]
+		}
+		return o.Dep[i][1] < o.Dep[j][1]
+	})
+	return o
+}
+
+// OrderOf is shorthand for BuildOrder(Analyze(p)).
+func OrderOf(p syntax.Policy) *Order { return BuildOrder(Analyze(p)) }
+
+// tarjanSCC computes strongly connected components; iteration over node and
+// edge sets is sorted for determinism.
+func tarjanSCC(g *Graph) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+
+		succs := make([]string, 0, len(g.Edges[v]))
+		for w := range g.Edges[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+
+	nodes := append([]string(nil), g.Nodes...)
+	sort.Strings(nodes)
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}
+
+// transitiveReach computes, for each node, the set of nodes reachable via
+// one or more edges.
+func transitiveReach(g *Graph) map[string]map[string]bool {
+	reach := map[string]map[string]bool{}
+	for _, s := range g.Nodes {
+		seen := map[string]bool{}
+		var stack []string
+		for t := range g.Edges[s] {
+			stack = append(stack, t)
+		}
+		sort.Strings(stack)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			for w := range g.Edges[v] {
+				if !seen[w] {
+					stack = append(stack, w)
+				}
+			}
+		}
+		reach[s] = seen
+	}
+	return reach
+}

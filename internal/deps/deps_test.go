@@ -1,0 +1,182 @@
+package deps_test
+
+import (
+	"testing"
+
+	"snap/internal/apps"
+	"snap/internal/deps"
+	"snap/internal/pkt"
+	"snap/internal/syntax"
+	"snap/internal/values"
+)
+
+func TestReadWriteSets(t *testing.T) {
+	p := apps.DNSTunnelDetect()
+	r := deps.ReadSet(p)
+	w := deps.WriteSet(p)
+	for _, v := range []string{"orphan", "susp-client"} {
+		if !r[v] {
+			t.Errorf("read set missing %s: %v", v, r)
+		}
+	}
+	for _, v := range []string{"orphan", "susp-client", "blacklist"} {
+		if !w[v] {
+			t.Errorf("write set missing %s: %v", v, w)
+		}
+	}
+	if r["blacklist"] {
+		t.Error("blacklist is never read by the program")
+	}
+}
+
+// TestDNSTunnelOrder reproduces §4.1: blacklist depends on susp-client,
+// itself dependent on orphan.
+func TestDNSTunnelOrder(t *testing.T) {
+	o := deps.OrderOf(apps.DNSTunnelDetect())
+	if !o.Before("orphan", "susp-client") {
+		t.Error("orphan must precede susp-client")
+	}
+	if !o.Before("susp-client", "blacklist") {
+		t.Error("susp-client must precede blacklist")
+	}
+	// None of them are tied (each is its own SCC).
+	if len(o.Tied) != 0 {
+		t.Errorf("unexpected tied pairs: %v", o.Tied)
+	}
+	// Dep contains the transitive orphan→blacklist pair.
+	found := false
+	for _, d := range o.Dep {
+		if d[0] == "orphan" && d[1] == "blacklist" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dep must include transitive (orphan, blacklist): %v", o.Dep)
+	}
+}
+
+func TestSeqIntroducesDependency(t *testing.T) {
+	// read s ; write t → edge s→t.
+	p := syntax.Then(
+		syntax.TestState("s", syntax.V(values.Int(0)), syntax.V(values.Bool(true))),
+		syntax.WriteState("t", syntax.V(values.Int(0)), syntax.V(values.Int(1))),
+	)
+	g := deps.Analyze(p)
+	if !g.Edges["s"]["t"] {
+		t.Fatalf("missing s→t edge: %v", g.Edges)
+	}
+	if g.Edges["t"]["s"] {
+		t.Fatalf("spurious t→s edge")
+	}
+}
+
+func TestParallelNoDependency(t *testing.T) {
+	p := syntax.Par(
+		syntax.TestState("s", syntax.V(values.Int(0)), syntax.V(values.Bool(true))),
+		syntax.WriteState("t", syntax.V(values.Int(0)), syntax.V(values.Int(1))),
+	)
+	g := deps.Analyze(p)
+	if g.Edges["s"]["t"] || g.Edges["t"]["s"] {
+		t.Fatalf("parallel composition must not introduce dependencies: %v", g.Edges)
+	}
+}
+
+func TestConditionalDependency(t *testing.T) {
+	// if a-test then write-b else write-c: a→b and a→c.
+	p := syntax.Cond(
+		syntax.TestState("a", syntax.V(values.Int(0)), syntax.V(values.Bool(true))),
+		syntax.WriteState("b", syntax.V(values.Int(0)), syntax.V(values.Int(1))),
+		syntax.WriteState("c", syntax.V(values.Int(0)), syntax.V(values.Int(1))),
+	)
+	g := deps.Analyze(p)
+	if !g.Edges["a"]["b"] || !g.Edges["a"]["c"] {
+		t.Fatalf("conditional dependencies missing: %v", g.Edges)
+	}
+}
+
+// TestAtomicTiesVariables: atomic(p) makes all state in p inter-dependent,
+// so the variables end up in one SCC and must be co-located.
+func TestAtomicTiesVariables(t *testing.T) {
+	p := syntax.Transaction(syntax.Then(
+		syntax.WriteState("hon-ip", syntax.F(pkt.Inport), syntax.F(pkt.SrcIP)),
+		syntax.WriteState("hon-dstport", syntax.F(pkt.Inport), syntax.F(pkt.DstPort)),
+	))
+	o := deps.OrderOf(p)
+	if len(o.Tied) != 1 {
+		t.Fatalf("want one tied pair, got %v", o.Tied)
+	}
+	if o.SCC["hon-ip"] != o.SCC["hon-dstport"] {
+		t.Fatal("atomic variables must share an SCC")
+	}
+}
+
+// TestMutualDependencyTied: read s before write t and read t before write s
+// forces both into one SCC.
+func TestMutualDependencyTied(t *testing.T) {
+	p := syntax.Par(
+		syntax.Cond(
+			syntax.TestState("s", syntax.V(values.Int(0)), syntax.V(values.Bool(true))),
+			syntax.WriteState("t", syntax.V(values.Int(0)), syntax.V(values.Int(1))),
+			syntax.Id(),
+		),
+		syntax.Cond(
+			syntax.TestState("t", syntax.V(values.Int(1)), syntax.V(values.Bool(true))),
+			syntax.WriteState("s", syntax.V(values.Int(1)), syntax.V(values.Int(1))),
+			syntax.Id(),
+		),
+	)
+	o := deps.OrderOf(p)
+	if o.SCC["s"] != o.SCC["t"] {
+		t.Fatal("mutually dependent variables must be tied")
+	}
+	if len(o.Tied) != 1 {
+		t.Fatalf("tied: %v", o.Tied)
+	}
+}
+
+// TestOrderIsTotalAndTopological: positions are unique and respect the
+// condensation's topological order for every dep pair.
+func TestOrderIsTotalAndTopological(t *testing.T) {
+	for _, a := range apps.All() {
+		p, err := a.Policy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := deps.OrderOf(p)
+		seen := map[int]string{}
+		for v, pos := range o.Pos {
+			if prev, dup := seen[pos]; dup {
+				t.Fatalf("%s: position %d shared by %s and %s", a.Name, pos, prev, v)
+			}
+			seen[pos] = v
+		}
+		for _, d := range o.Dep {
+			if !o.Before(d[0], d[1]) {
+				t.Fatalf("%s: dep pair %v violates the total order", a.Name, d)
+			}
+		}
+	}
+}
+
+func TestIncrementSelfEdge(t *testing.T) {
+	p := syntax.IncrState("c", syntax.F(pkt.Inport))
+	g := deps.Analyze(p)
+	if !g.Edges["c"]["c"] {
+		t.Fatal("increment must self-depend (read-modify-write)")
+	}
+	o := deps.BuildOrder(g)
+	if len(o.Tied) != 0 {
+		t.Fatalf("a self-loop must not tie anything: %v", o.Tied)
+	}
+}
+
+func TestVarsSorted(t *testing.T) {
+	p := syntax.Then(
+		syntax.WriteState("zeta", syntax.V(values.Int(0)), syntax.V(values.Int(1))),
+		syntax.WriteState("alpha", syntax.V(values.Int(0)), syntax.V(values.Int(1))),
+	)
+	vs := deps.Vars(p)
+	if len(vs) != 2 || vs[0] != "alpha" || vs[1] != "zeta" {
+		t.Fatalf("vars: %v", vs)
+	}
+}

@@ -1,0 +1,373 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c·x
+//	subject to  A x {≤,=,≥} b,   0 ≤ x ≤ u
+//
+// It is the substrate under internal/milp, which together replace the
+// Gurobi solver the paper used for its placement-and-routing MILP (§4.4).
+// The implementation favors clarity and numerical robustness (Bland's rule
+// under degeneracy) over raw speed; evaluation-scale instances use the
+// heuristic in internal/place, with this solver validating it on small
+// instances.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op uint8
+
+// Constraint relations.
+const (
+	LE Op = iota
+	EQ
+	GE
+)
+
+// Term is one coefficient of a constraint row.
+type Term struct {
+	Col   int
+	Coeff float64
+}
+
+// Constraint is a sparse row: Σ terms {≤,=,≥} RHS.
+type Constraint struct {
+	Terms []Term
+	Op    Op
+	RHS   float64
+}
+
+// Problem is a linear program. Upper is the per-variable upper bound
+// (math.Inf(1) when absent); lower bounds are 0.
+type Problem struct {
+	NumCols int
+	Obj     []float64
+	Upper   []float64
+	Rows    []Constraint
+	Names   []string // optional, diagnostics only
+}
+
+// NewProblem allocates a problem with n variables.
+func NewProblem(n int) *Problem {
+	upper := make([]float64, n)
+	for i := range upper {
+		upper[i] = math.Inf(1)
+	}
+	return &Problem{
+		NumCols: n,
+		Obj:     make([]float64, n),
+		Upper:   upper,
+		Names:   make([]string, n),
+	}
+}
+
+// AddCol appends a variable and returns its index.
+func (p *Problem) AddCol(name string, obj, upper float64) int {
+	p.Obj = append(p.Obj, obj)
+	p.Upper = append(p.Upper, upper)
+	p.Names = append(p.Names, name)
+	p.NumCols++
+	return p.NumCols - 1
+}
+
+// AddRow appends a constraint.
+func (p *Problem) AddRow(terms []Term, op Op, rhs float64) {
+	p.Rows = append(p.Rows, Constraint{Terms: terms, Op: op, RHS: rhs})
+}
+
+// Status reports the outcome of a solve.
+type Status uint8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Solution is an LP solve result.
+type Solution struct {
+	Status Status
+	Obj    float64
+	X      []float64
+}
+
+// ErrNumeric reports simplex numerical failure (no progress possible).
+var ErrNumeric = errors.New("lp: numerical failure")
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex. Finite upper bounds are handled by adding
+// explicit x ≤ u rows, keeping the tableau logic simple.
+func Solve(p *Problem) (Solution, error) {
+	rows := make([]Constraint, 0, len(p.Rows)+p.NumCols)
+	rows = append(rows, p.Rows...)
+	for j := 0; j < p.NumCols; j++ {
+		if !math.IsInf(p.Upper[j], 1) {
+			rows = append(rows, Constraint{Terms: []Term{{Col: j, Coeff: 1}}, Op: LE, RHS: p.Upper[j]})
+		}
+	}
+
+	m := len(rows)
+	n := p.NumCols
+
+	// Count slack/surplus and artificial columns.
+	nSlack := 0
+	for _, r := range rows {
+		if r.Op != EQ {
+			nSlack++
+		}
+	}
+	total := n + nSlack + m // worst case: artificial per row
+
+	// Tableau: m+1 rows (last = objective), total+1 cols (last = RHS).
+	tab := make([][]float64, m+1)
+	for i := range tab {
+		tab[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+
+	slackAt := n
+	artAt := n + nSlack
+	nArt := 0
+	artCols := make([]int, 0, m)
+
+	for i, r := range rows {
+		rhs := r.RHS
+		sign := 1.0
+		if rhs < 0 {
+			// Normalize to nonnegative RHS.
+			sign = -1.0
+			rhs = -rhs
+		}
+		for _, t := range r.Terms {
+			tab[i][t.Col] += sign * t.Coeff
+		}
+		op := r.Op
+		if sign < 0 {
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		switch op {
+		case LE:
+			tab[i][slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			tab[i][slackAt] = -1
+			slackAt++
+			a := artAt + nArt
+			tab[i][a] = 1
+			basis[i] = a
+			artCols = append(artCols, a)
+			nArt++
+		case EQ:
+			a := artAt + nArt
+			tab[i][a] = 1
+			basis[i] = a
+			artCols = append(artCols, a)
+			nArt++
+		}
+		tab[i][total] = rhs
+	}
+	used := artAt + nArt // number of structural+slack+artificial columns in use
+
+	// Phase 1: minimize sum of artificials.
+	if nArt > 0 {
+		obj := tab[m]
+		for j := 0; j <= total; j++ {
+			obj[j] = 0
+		}
+		for _, a := range artCols {
+			obj[a] = 1
+		}
+		// Price out basic artificials.
+		for i, b := range basis {
+			if obj[b] != 0 {
+				f := obj[b]
+				for j := 0; j <= total; j++ {
+					obj[j] -= f * tab[i][j]
+				}
+			}
+		}
+		if err := iterate(tab, basis, m, used, total); err != nil {
+			return Solution{}, err
+		}
+		if tab[m][total] < -eps*100 {
+			_ = tab
+		}
+		if -tab[m][total] > 1e-6 {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Drive any artificial still in the basis out (or zero its row).
+		for i, b := range basis {
+			if b >= artAt {
+				pivoted := false
+				for j := 0; j < artAt; j++ {
+					if math.Abs(tab[i][j]) > eps {
+						pivot(tab, basis, i, j, total)
+						pivoted = true
+						break
+					}
+				}
+				if !pivoted {
+					// Redundant row; leave the artificial at value 0.
+					_ = i
+				}
+			}
+		}
+	}
+
+	// Phase 2: restore the real objective, priced out over the basis.
+	obj := tab[m]
+	for j := 0; j <= total; j++ {
+		obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		obj[j] = p.Obj[j]
+	}
+	// Forbid artificials from re-entering by pricing them prohibitively.
+	for _, a := range artCols {
+		obj[a] = 0
+	}
+	for i, b := range basis {
+		if b < total && obj[b] != 0 {
+			f := obj[b]
+			for j := 0; j <= total; j++ {
+				obj[j] -= f * tab[i][j]
+			}
+		}
+	}
+	if err := iteratePhase2(tab, basis, m, artAt, total); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return Solution{Status: Unbounded}, nil
+		}
+		return Solution{}, err
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	var objVal float64
+	for j := 0; j < n; j++ {
+		objVal += p.Obj[j] * x[j]
+	}
+	return Solution{Status: Optimal, Obj: objVal, X: x}, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// iterate runs simplex on columns [0, cols) until optimal (phase 1 never
+// unbounded: objective bounded below by 0).
+func iterate(tab [][]float64, basis []int, m, cols, rhsCol int) error {
+	return run(tab, basis, m, cols, rhsCol, false)
+}
+
+// iteratePhase2 excludes artificial columns [artAt, …) from entering.
+func iteratePhase2(tab [][]float64, basis []int, m, artAt, rhsCol int) error {
+	return run(tab, basis, m, artAt, rhsCol, true)
+}
+
+func run(tab [][]float64, basis []int, m, cols, rhsCol int, canUnbound bool) error {
+	maxIter := 200 * (m + cols)
+	if maxIter < 10000 {
+		maxIter = 10000
+	}
+	// Dantzig's rule normally; switch to Bland's rule (anti-cycling,
+	// guaranteed termination) once the objective stalls.
+	stallLimit := 4 * (m + 2)
+	stalled := 0
+	lastObj := math.Inf(1)
+	for iter := 0; iter < maxIter; iter++ {
+		obj := tab[m]
+		if cur := obj[rhsCol]; cur < lastObj-eps {
+			lastObj = cur
+			stalled = 0
+		} else {
+			stalled++
+		}
+		bland := stalled > stallLimit
+		enter := -1
+		best := -eps
+		for j := 0; j < cols; j++ {
+			if obj[j] < best {
+				best = obj[j]
+				enter = j
+				if bland {
+					break // Bland: first eligible column
+				}
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Ratio test (Bland tie-break on basis index for anti-cycling).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][enter]
+			if a > eps {
+				r := tab[i][rhsCol] / a
+				if r < bestRatio-eps || (r < bestRatio+eps && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			if canUnbound {
+				return errUnbounded
+			}
+			return fmt.Errorf("%w: no leaving row in phase 1", ErrNumeric)
+		}
+		pivot(tab, basis, leave, enter, rhsCol)
+	}
+	return fmt.Errorf("%w: iteration limit", ErrNumeric)
+}
+
+func pivot(tab [][]float64, basis []int, row, col, rhsCol int) {
+	p := tab[row][col]
+	inv := 1 / p
+	for j := 0; j <= rhsCol; j++ {
+		tab[row][j] *= inv
+	}
+	tab[row][col] = 1
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		ri, rr := tab[i], tab[row]
+		for j := 0; j <= rhsCol; j++ {
+			ri[j] -= f * rr[j]
+		}
+		ri[col] = 0
+	}
+	basis[row] = col
+}

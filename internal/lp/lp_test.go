@@ -1,0 +1,150 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMax(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=36.
+	p := NewProblem(0)
+	x := p.AddCol("x", -3, math.Inf(1))
+	y := p.AddCol("y", -5, math.Inf(1))
+	p.AddRow([]Term{{x, 1}}, LE, 4)
+	p.AddRow([]Term{{y, 2}}, LE, 12)
+	p.AddRow([]Term{{x, 3}, {y, 2}}, LE, 18)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Obj, -36) || !approx(sol.X[x], 2) || !approx(sol.X[y], 6) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x + 2y s.t. x + y = 10, x ≥ 3 → x=10 y=0? constraint x≥3 holds;
+	// optimum x=10, y=0, obj=10.
+	p := NewProblem(0)
+	x := p.AddCol("x", 1, math.Inf(1))
+	y := p.AddCol("y", 2, math.Inf(1))
+	p.AddRow([]Term{{x, 1}, {y, 1}}, EQ, 10)
+	p.AddRow([]Term{{x, 1}}, GE, 3)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Obj, 10) || !approx(sol.X[x], 10) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(0)
+	x := p.AddCol("x", 1, math.Inf(1))
+	p.AddRow([]Term{{x, 1}}, LE, 1)
+	p.AddRow([]Term{{x, 1}}, GE, 2)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("want infeasible, got %+v", sol)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(0)
+	x := p.AddCol("x", -1, math.Inf(1))
+	y := p.AddCol("y", 0, math.Inf(1))
+	p.AddRow([]Term{{x, 1}, {y, -1}}, LE, 1)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("want unbounded, got %+v", sol)
+	}
+}
+
+func TestUpperBounds(t *testing.T) {
+	// max x + y with x ≤ 0.5, y ≤ 0.25 via column bounds.
+	p := NewProblem(0)
+	x := p.AddCol("x", -1, 0.5)
+	y := p.AddCol("y", -1, 0.25)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, LE, 10)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Obj, -0.75) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x ≤ -3  (i.e. x ≥ 3).
+	p := NewProblem(0)
+	x := p.AddCol("x", 1, math.Inf(1))
+	p.AddRow([]Term{{x, -1}}, LE, -3)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.X[x], 3) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classic degenerate LP; ensures anti-cycling safeguards terminate.
+	p := NewProblem(0)
+	x1 := p.AddCol("x1", -0.75, math.Inf(1))
+	x2 := p.AddCol("x2", 150, math.Inf(1))
+	x3 := p.AddCol("x3", -0.02, math.Inf(1))
+	x4 := p.AddCol("x4", 6, math.Inf(1))
+	p.AddRow([]Term{{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, LE, 0)
+	p.AddRow([]Term{{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, LE, 0)
+	p.AddRow([]Term{{x3, 1}}, LE, 1)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Obj, -0.05) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestMultiCommodityToy(t *testing.T) {
+	// Two unit flows share a 3-node line a-b-c with capacities 1 on each
+	// link; one flow a→c, one b→c. Total load on b→c is 2 > capacity 1 →
+	// infeasible; with capacity 2 → feasible with objective = total hops 3.
+	build := func(capBC float64) *Problem {
+		p := NewProblem(0)
+		// Columns: f1 on (a,b), f1 on (b,c), f2 on (b,c).
+		f1ab := p.AddCol("f1ab", 1, 1)
+		f1bc := p.AddCol("f1bc", 1, 1)
+		f2bc := p.AddCol("f2bc", 1, 1)
+		p.AddRow([]Term{{f1ab, 1}}, EQ, 1)                // flow 1 leaves a
+		p.AddRow([]Term{{f1ab, 1}, {f1bc, -1}}, EQ, 0)    // conservation at b
+		p.AddRow([]Term{{f2bc, 1}}, EQ, 1)                // flow 2 leaves b
+		p.AddRow([]Term{{f1bc, 1}, {f2bc, 1}}, LE, capBC) // capacity b→c
+		return p
+	}
+	sol, err := Solve(build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("want infeasible at capacity 1, got %+v", sol)
+	}
+	sol, err = Solve(build(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Obj, 3) {
+		t.Fatalf("got %+v", sol)
+	}
+}

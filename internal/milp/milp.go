@@ -1,0 +1,163 @@
+// Package milp solves small mixed-integer linear programs by LP-relaxation
+// branch-and-bound over binary variables, on top of internal/lp. Together
+// they stand in for the Gurobi solver of the paper's §4.4 (see DESIGN.md,
+// substitution #1): the exact path is used for modest instances and for
+// validating the scalable heuristic in internal/place.
+package milp
+
+import (
+	"fmt"
+	"math"
+
+	"snap/internal/lp"
+)
+
+// Model is an LP with a set of binary columns.
+type Model struct {
+	*lp.Problem
+	Binary []int // column indices restricted to {0, 1}
+}
+
+// NewModel allocates an empty model.
+func NewModel() *Model {
+	return &Model{Problem: lp.NewProblem(0)}
+}
+
+// AddBinary appends a binary variable.
+func (m *Model) AddBinary(name string, obj float64) int {
+	col := m.AddCol(name, obj, 1)
+	m.Binary = append(m.Binary, col)
+	return col
+}
+
+// Solution is a MILP solve result.
+type Solution struct {
+	Status lp.Status
+	Obj    float64
+	X      []float64
+	Nodes  int // branch-and-bound nodes explored
+}
+
+// Options bound the search.
+type Options struct {
+	MaxNodes int     // 0 = default limit
+	Gap      float64 // accept incumbents within this relative gap of the bound
+}
+
+const intTol = 1e-6
+
+// Solve runs best-first branch and bound. Binary columns are branched by
+// tightening their bounds; everything else stays continuous.
+func Solve(m *Model, opts Options) (Solution, error) {
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 20000
+	}
+
+	type node struct {
+		fix   map[int]float64 // column → forced value (0 or 1)
+		bound float64
+	}
+
+	lower := append([]float64(nil), make([]float64, m.NumCols)...)
+	upperOrig := append([]float64(nil), m.Upper...)
+
+	solveWith := func(fix map[int]float64) (lp.Solution, error) {
+		// Apply fixings by bound tightening.
+		for col, v := range fix {
+			lower[col] = v
+			m.Upper[col] = v
+		}
+		// Lower bounds other than 0 are encoded as x ≥ v rows appended
+		// temporarily.
+		extra := 0
+		for col, v := range fix {
+			if v > 0 {
+				m.AddRow([]lp.Term{{Col: col, Coeff: 1}}, lp.GE, v)
+				extra++
+			}
+		}
+		sol, err := lp.Solve(m.Problem)
+		m.Rows = m.Rows[:len(m.Rows)-extra]
+		for col := range fix {
+			lower[col] = 0
+			m.Upper[col] = upperOrig[col]
+		}
+		return sol, err
+	}
+
+	root, err := solveWith(nil)
+	if err != nil {
+		return Solution{}, err
+	}
+	if root.Status != lp.Optimal {
+		return Solution{Status: root.Status}, nil
+	}
+
+	best := Solution{Status: lp.Infeasible, Obj: math.Inf(1)}
+	stack := []node{{fix: map[int]float64{}, bound: root.Obj}}
+	nodes := 0
+
+	for len(stack) > 0 && nodes < opts.MaxNodes {
+		// Best-first: pop the node with the smallest bound.
+		bi := 0
+		for i := range stack {
+			if stack[i].bound < stack[bi].bound {
+				bi = i
+			}
+		}
+		cur := stack[bi]
+		stack[bi] = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		if best.Status == lp.Optimal && cur.bound >= best.Obj-opts.Gap*math.Abs(best.Obj)-1e-9 {
+			continue
+		}
+
+		nodes++
+		sol, err := solveWith(cur.fix)
+		if err != nil {
+			return Solution{}, err
+		}
+		if sol.Status != lp.Optimal {
+			continue
+		}
+		if best.Status == lp.Optimal && sol.Obj >= best.Obj-1e-9 {
+			continue
+		}
+
+		// Most-fractional branching.
+		branchCol := -1
+		worst := intTol
+		for _, col := range m.Binary {
+			if _, fixed := cur.fix[col]; fixed {
+				continue
+			}
+			f := math.Abs(sol.X[col] - math.Round(sol.X[col]))
+			if f > worst {
+				worst = f
+				branchCol = col
+			}
+		}
+		if branchCol < 0 {
+			// Integral: new incumbent.
+			if sol.Obj < best.Obj {
+				best = Solution{Status: lp.Optimal, Obj: sol.Obj, X: append([]float64(nil), sol.X...)}
+			}
+			continue
+		}
+		for _, v := range []float64{0, 1} {
+			fix := make(map[int]float64, len(cur.fix)+1)
+			for k, val := range cur.fix {
+				fix[k] = val
+			}
+			fix[branchCol] = v
+			stack = append(stack, node{fix: fix, bound: sol.Obj})
+		}
+	}
+
+	best.Nodes = nodes
+	if best.Status != lp.Optimal && nodes >= opts.MaxNodes {
+		return best, fmt.Errorf("milp: node limit %d reached without incumbent", opts.MaxNodes)
+	}
+	return best, nil
+}

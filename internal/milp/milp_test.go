@@ -1,0 +1,70 @@
+package milp
+
+import (
+	"math"
+	"testing"
+
+	"snap/internal/lp"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 8a + 11b + 6c + 4d s.t. 5a + 7b + 4c + 3d ≤ 14, binary.
+	// Optimum: b + c + d? 11+6+4=21 weight 14 ✓; a+b=19, a+c+d=18 → 21.
+	m := NewModel()
+	a := m.AddBinary("a", -8)
+	b := m.AddBinary("b", -11)
+	c := m.AddBinary("c", -6)
+	d := m.AddBinary("d", -4)
+	m.AddRow([]lp.Term{{Col: a, Coeff: 5}, {Col: b, Coeff: 7}, {Col: c, Coeff: 4}, {Col: d, Coeff: 3}}, lp.LE, 14)
+	sol, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal || math.Abs(sol.Obj+21) > 1e-6 {
+		t.Fatalf("got %+v", sol)
+	}
+	for _, col := range []int{b, c, d} {
+		if math.Abs(sol.X[col]-1) > 1e-6 {
+			t.Fatalf("expected %d set, got %v", col, sol.X)
+		}
+	}
+}
+
+func TestFacilityToy(t *testing.T) {
+	// One facility must open (y1 + y2 = 1); demand routes only through the
+	// open one; facility 2 is cheaper overall.
+	m := NewModel()
+	y1 := m.AddBinary("y1", 10)
+	y2 := m.AddBinary("y2", 3)
+	x1 := m.AddCol("x1", 1, 1)
+	x2 := m.AddCol("x2", 2, 1)
+	m.AddRow([]lp.Term{{Col: y1, Coeff: 1}, {Col: y2, Coeff: 1}}, lp.EQ, 1)
+	m.AddRow([]lp.Term{{Col: x1, Coeff: 1}, {Col: x2, Coeff: 1}}, lp.EQ, 1)
+	m.AddRow([]lp.Term{{Col: x1, Coeff: 1}, {Col: y1, Coeff: -1}}, lp.LE, 0)
+	m.AddRow([]lp.Term{{Col: x2, Coeff: 1}, {Col: y2, Coeff: -1}}, lp.LE, 0)
+	sol, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Option A: open 1 (cost 10 + route 1) = 11; option B: open 2 (3 + 2) = 5.
+	if sol.Status != lp.Optimal || math.Abs(sol.Obj-5) > 1e-6 {
+		t.Fatalf("got %+v", sol)
+	}
+	if math.Abs(sol.X[y2]-1) > 1e-6 {
+		t.Fatalf("expected facility 2 open: %v", sol.X)
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	m := NewModel()
+	a := m.AddBinary("a", 1)
+	b := m.AddBinary("b", 1)
+	m.AddRow([]lp.Term{{Col: a, Coeff: 1}, {Col: b, Coeff: 1}}, lp.GE, 3)
+	sol, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status == lp.Optimal {
+		t.Fatalf("want infeasible, got %+v", sol)
+	}
+}

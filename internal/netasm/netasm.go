@@ -1,0 +1,373 @@
+// Package netasm is a NetASM-style instruction set and switch virtual
+// machine (§5 of the paper). The SNAP compiler's backend (internal/rules)
+// emits one Program per switch: branch instructions for xFDD test nodes,
+// load/branch over per-state index/value tables, store instructions for
+// state updates, and control instructions that suspend evaluation and hand
+// the packet back to the forwarding layer when a remote state variable is
+// needed.
+//
+// The VM models what the paper's NetASM software switch provides: per-state
+// tables updated atomically within a packet's processing, plus access to
+// the SNAP-header fields (OBS inport/outport, resume node id, sequence and
+// pending-write bookkeeping, §4.5).
+package netasm
+
+import (
+	"fmt"
+	"strings"
+
+	"snap/internal/pkt"
+	"snap/internal/semantics"
+	"snap/internal/state"
+	"snap/internal/syntax"
+	"snap/internal/values"
+	"snap/internal/xfdd"
+)
+
+// Op is a VM opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	OpNop Op = iota
+	// OpBranchFV jumps to True/False depending on a field-value match.
+	OpBranchFV
+	// OpBranchFF compares two packet fields.
+	OpBranchFF
+	// OpBranchState loads the local state table at an index and compares.
+	OpBranchState
+	// OpSetField writes a constant into a packet field.
+	OpSetField
+	// OpStateWrite applies a set/incr/decr on a local state table.
+	OpStateWrite
+	// OpResolve evaluates a state action's expressions against the current
+	// packet and appends the resolved write to the SNAP-header pending
+	// list (the value travels with the packet to the owning switch).
+	OpResolve
+	// OpSuspend stops evaluation: the packet must travel to the switch
+	// owning Var, and resume at ResumeNode there.
+	OpSuspend
+	// OpFork multicasts the packet: one copy per leaf action sequence,
+	// each entering at its sequence label.
+	OpFork
+	// OpFinish ends evaluation: the packet moves to the delivery phase
+	// (commit remaining pending writes, then exit at the OBS outport).
+	OpFinish
+	// OpDrop discards the packet copy (pending writes still commit).
+	OpDrop
+)
+
+// Instr is one VM instruction.
+type Instr struct {
+	Op     Op
+	Field  pkt.Field     // BranchFV, SetField
+	Field2 pkt.Field     // BranchFF
+	Val    values.Value  // BranchFV, SetField
+	Var    string        // state ops
+	Idx    []syntax.Expr // state ops
+	ValE   syntax.Expr   // BranchState, StateWrite(set), Resolve(set)
+	Act    xfdd.ActKind  // StateWrite/Resolve: ActSet/ActIncr/ActDecr
+	True   int           // branch target pc
+	False  int           // branch target pc
+	Seqs   []int         // Fork: entry pcs per sequence
+	Resume int           // Suspend: xFDD node id to resume at
+	Next   int           // fallthrough pc for non-branch ops (-1: halt)
+}
+
+// Program is an executable per-switch configuration.
+type Program struct {
+	Instrs []Instr
+	// EntryOf maps xFDD node ids to pcs, so a packet tagged with a resume
+	// node continues exactly where the previous switch stopped.
+	EntryOf map[int]int
+}
+
+// String disassembles the program.
+func (p *Program) String() string {
+	var b strings.Builder
+	for pc, ins := range p.Instrs {
+		fmt.Fprintf(&b, "%4d: %s\n", pc, ins)
+	}
+	return b.String()
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case OpBranchFV:
+		return fmt.Sprintf("bfv   %s = %s ? %d : %d", i.Field, i.Val, i.True, i.False)
+	case OpBranchFF:
+		return fmt.Sprintf("bff   %s = %s ? %d : %d", i.Field, i.Field2, i.True, i.False)
+	case OpBranchState:
+		return fmt.Sprintf("bst   %s%s = %s ? %d : %d", i.Var, xfdd.IndexKey(i.Idx), i.ValE, i.True, i.False)
+	case OpSetField:
+		return fmt.Sprintf("mod   %s <- %s -> %d", i.Field, i.Val, i.Next)
+	case OpStateWrite:
+		return fmt.Sprintf("stw   %s[%d] %v -> %d", i.Var, i.Act, i.Idx, i.Next)
+	case OpResolve:
+		return fmt.Sprintf("rsv   %s[%d] %v -> %d", i.Var, i.Act, i.Idx, i.Next)
+	case OpSuspend:
+		return fmt.Sprintf("susp  %s resume@%d", i.Var, i.Resume)
+	case OpFork:
+		return fmt.Sprintf("fork  %v", i.Seqs)
+	case OpFinish:
+		return "fin"
+	case OpDrop:
+		return "drop"
+	}
+	return "nop"
+}
+
+// PendingWrite is a state update resolved at the evaluation switch and
+// carried in the SNAP-header until it reaches the owning switch.
+type PendingWrite struct {
+	Var string
+	Idx values.Tuple
+	Act xfdd.ActKind
+	Val values.Value // ActSet only
+}
+
+// Phase is the packet's processing phase in the distributed plane.
+type Phase uint8
+
+// Packet phases.
+const (
+	PhaseEval Phase = iota
+	PhaseDeliver
+	PhaseDone
+	PhaseDropped
+)
+
+// Header is the SNAP-header of §4.5: attached at ingress, stripped at
+// egress. OBSOut is -1 until the leaf determines the outport.
+type Header struct {
+	OBSIn   int
+	OBSOut  int
+	Node    int // xFDD resume node id (evaluation phase)
+	Seq     int // leaf sequence index, -1 before the leaf fork
+	Phase   Phase
+	Pending []PendingWrite
+}
+
+// SimPacket is a packet in flight with its SNAP-header.
+type SimPacket struct {
+	Pkt pkt.Packet
+	Hdr Header
+}
+
+// Outcome describes what a switch decided for one packet copy.
+type Outcome uint8
+
+// Switch decisions.
+const (
+	// NeedState: evaluation suspended; forward toward StateVar's owner.
+	NeedState Outcome = iota
+	// ToEgress: evaluation finished; forward toward the OBS outport.
+	ToEgress
+	// Delivered: this switch owns the egress port; packet exits here.
+	Delivered
+	// Dropped: the packet copy was discarded.
+	Dropped
+)
+
+// Result is the outcome of running one packet through a switch VM,
+// possibly multicast into several copies.
+type Result struct {
+	Outcome  Outcome
+	StateVar string // NeedState
+	Packet   SimPacket
+}
+
+// Switch is a NetASM VM instance: a program plus local state tables.
+type Switch struct {
+	ID     int
+	Prog   *Program
+	Tables *state.Store
+	// Owns reports local ownership of state variables.
+	Owns map[string]bool
+	// Guard against runaway programs.
+	MaxSteps int
+}
+
+// NewSwitch builds a VM with empty tables.
+func NewSwitch(id int, prog *Program, owns map[string]bool) *Switch {
+	return &Switch{ID: id, Prog: prog, Tables: state.NewStore(), Owns: owns, MaxSteps: 1 << 16}
+}
+
+// Run processes one packet copy: commit its pending writes for local
+// variables, then continue per phase. It returns one Result per emitted
+// copy (multicast leaves fork).
+func (sw *Switch) Run(sp SimPacket) ([]Result, error) {
+	sw.commitLocal(&sp)
+	switch sp.Hdr.Phase {
+	case PhaseDeliver:
+		return []Result{sw.deliverOutcome(sp)}, nil
+	case PhaseEval:
+		pc, ok := sw.Prog.EntryOf[sp.Hdr.Node]
+		if !ok {
+			// Rule generation gives every switch an entry for every node
+			// (remote state tests compile to suspend stubs), so a missing
+			// entry is a compiler bug.
+			return nil, fmt.Errorf("netasm: switch %d has no entry for node %d", sw.ID, sp.Hdr.Node)
+		}
+		return sw.exec(sp, pc)
+	default:
+		return []Result{{Outcome: Dropped, Packet: sp}}, nil
+	}
+}
+
+// commitLocal applies the pending writes owned by this switch, preserving
+// their order.
+func (sw *Switch) commitLocal(sp *SimPacket) {
+	if len(sp.Hdr.Pending) == 0 {
+		return
+	}
+	rest := sp.Hdr.Pending[:0]
+	for _, w := range sp.Hdr.Pending {
+		if !sw.Owns[w.Var] {
+			rest = append(rest, w)
+			continue
+		}
+		switch w.Act {
+		case xfdd.ActSet:
+			sw.Tables.Set(w.Var, w.Idx, w.Val)
+		case xfdd.ActIncr:
+			sw.Tables.Add(w.Var, w.Idx, 1)
+		case xfdd.ActDecr:
+			sw.Tables.Add(w.Var, w.Idx, -1)
+		}
+	}
+	sp.Hdr.Pending = append([]PendingWrite(nil), rest...)
+}
+
+// deliverOutcome routes a delivery-phase packet: first to any remaining
+// pending-write owners, then to the egress.
+func (sw *Switch) deliverOutcome(sp SimPacket) Result {
+	if len(sp.Hdr.Pending) > 0 {
+		return Result{Outcome: NeedState, StateVar: sp.Hdr.Pending[0].Var, Packet: sp}
+	}
+	if sp.Hdr.OBSOut < 0 {
+		return Result{Outcome: Dropped, Packet: sp}
+	}
+	return Result{Outcome: ToEgress, Packet: sp}
+}
+
+// exec interprets the program from pc.
+func (sw *Switch) exec(sp SimPacket, pc int) ([]Result, error) {
+	steps := 0
+	for pc >= 0 {
+		if steps++; steps > sw.MaxSteps {
+			return nil, fmt.Errorf("netasm: switch %d: step limit exceeded", sw.ID)
+		}
+		if pc >= len(sw.Prog.Instrs) {
+			return nil, fmt.Errorf("netasm: switch %d: pc %d out of range", sw.ID, pc)
+		}
+		ins := sw.Prog.Instrs[pc]
+		switch ins.Op {
+		case OpNop:
+			pc = ins.Next
+
+		case OpBranchFV:
+			if ins.Val.Matches(sp.Pkt.Field(ins.Field)) {
+				pc = ins.True
+			} else {
+				pc = ins.False
+			}
+
+		case OpBranchFF:
+			if values.Eq(sp.Pkt.Field(ins.Field), sp.Pkt.Field(ins.Field2)) {
+				pc = ins.True
+			} else {
+				pc = ins.False
+			}
+
+		case OpBranchState:
+			idx := evalIdx(ins.Idx, sp.Pkt)
+			want, err := semantics.EvalScalar(ins.ValE, sp.Pkt)
+			if err != nil {
+				return nil, err
+			}
+			if values.Eq(sw.Tables.Get(ins.Var, idx), want) {
+				pc = ins.True
+			} else {
+				pc = ins.False
+			}
+
+		case OpSetField:
+			sp.Pkt = sp.Pkt.With(ins.Field, ins.Val)
+			pc = ins.Next
+
+		case OpStateWrite:
+			idx := evalIdx(ins.Idx, sp.Pkt)
+			switch ins.Act {
+			case xfdd.ActSet:
+				v, err := semantics.EvalScalar(ins.ValE, sp.Pkt)
+				if err != nil {
+					return nil, err
+				}
+				sw.Tables.Set(ins.Var, idx, v)
+			case xfdd.ActIncr:
+				sw.Tables.Add(ins.Var, idx, 1)
+			case xfdd.ActDecr:
+				sw.Tables.Add(ins.Var, idx, -1)
+			}
+			pc = ins.Next
+
+		case OpResolve:
+			w := PendingWrite{Var: ins.Var, Idx: evalIdx(ins.Idx, sp.Pkt), Act: ins.Act}
+			if ins.Act == xfdd.ActSet {
+				v, err := semantics.EvalScalar(ins.ValE, sp.Pkt)
+				if err != nil {
+					return nil, err
+				}
+				w.Val = v
+			}
+			sp.Hdr.Pending = append(append([]PendingWrite(nil), sp.Hdr.Pending...), w)
+			pc = ins.Next
+
+		case OpSuspend:
+			sp.Hdr.Node = ins.Resume
+			return []Result{{Outcome: NeedState, StateVar: ins.Var, Packet: sp}}, nil
+
+		case OpFork:
+			var out []Result
+			for si, entry := range ins.Seqs {
+				cp := sp
+				cp.Hdr.Seq = si
+				cp.Hdr.Pending = append([]PendingWrite(nil), sp.Hdr.Pending...)
+				rs, err := sw.exec(cp, entry)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, rs...)
+			}
+			return out, nil
+
+		case OpFinish:
+			sp.Hdr.Phase = PhaseDeliver
+			if v := sp.Pkt.Field(pkt.Outport); v.Kind == values.KindInt {
+				sp.Hdr.OBSOut = int(v.Num)
+			} else {
+				sp.Hdr.OBSOut = -1
+			}
+			return []Result{sw.deliverOutcome(sp)}, nil
+
+		case OpDrop:
+			sp.Hdr.Phase = PhaseDeliver
+			sp.Hdr.OBSOut = -1
+			// Pending writes still need to commit remotely.
+			return []Result{sw.deliverOutcome(sp)}, nil
+
+		default:
+			return nil, fmt.Errorf("netasm: switch %d: bad opcode %d", sw.ID, ins.Op)
+		}
+	}
+	return nil, fmt.Errorf("netasm: switch %d: fell off program", sw.ID)
+}
+
+func evalIdx(idx []syntax.Expr, p pkt.Packet) values.Tuple {
+	out := make(values.Tuple, 0, len(idx))
+	for _, e := range idx {
+		out = append(out, semantics.EvalExpr(e, p)...)
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+// Package parser implements a lexer and recursive-descent parser for SNAP's
+// concrete surface syntax as used throughout the paper (Figures 1 and 4,
+// Appendix F): field tests, state arrays indexed with [..] chains, <- for
+// modification, ++/-- for counters, if/then/else, atomic blocks, and the
+// composition operators ; + & | ~.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tIP
+	tPrefix
+	tString
+	tLParen
+	tRParen
+	tLBrack
+	tRBrack
+	tSemi
+	tPlus
+	tAmp
+	tPipe
+	tNot
+	tEq
+	tArrow // <-
+	tIncr  // ++
+	tDecr  // --
+	tComma
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return "identifier"
+	case tInt:
+		return "integer"
+	case tIP:
+		return "IP address"
+	case tPrefix:
+		return "IP prefix"
+	case tString:
+		return "string"
+	case tLParen:
+		return "'('"
+	case tRParen:
+		return "')'"
+	case tLBrack:
+		return "'['"
+	case tRBrack:
+		return "']'"
+	case tSemi:
+		return "';'"
+	case tPlus:
+		return "'+'"
+	case tAmp:
+		return "'&'"
+	case tPipe:
+		return "'|'"
+	case tNot:
+		return "'~'"
+	case tEq:
+		return "'='"
+	case tArrow:
+		return "'<-'"
+	case tIncr:
+		return "'++'"
+	case tDecr:
+		return "'--'"
+	case tComma:
+		return "','"
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// Error is a parse error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) errorf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekByteAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isAlnum(c byte) bool { return isLetter(c) || isDigit(c) }
+
+// next scans one token. Identifiers may contain '.', digits, and '-' when
+// the dash is followed by an alphanumeric character; this lets names like
+// susp-client and http.user-agent lex as single identifiers while
+// "susp-client[x]--" still ends with a decrement token.
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '#': // line comment
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tEOF, line: lx.line, col: lx.col}, nil
+
+scan:
+	line, col := lx.line, lx.col
+	c := lx.peekByte()
+	switch {
+	case isLetter(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) {
+			c := lx.peekByte()
+			if isAlnum(c) || c == '.' {
+				lx.advance()
+				continue
+			}
+			if c == '-' && isAlnum(lx.peekByteAt(1)) {
+				lx.advance()
+				continue
+			}
+			break
+		}
+		return token{kind: tIdent, text: lx.src[start:lx.pos], line: line, col: col}, nil
+
+	case isDigit(c):
+		return lx.scanNumber(line, col)
+
+	case c == '"':
+		lx.advance()
+		var b strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errorf(line, col, "unterminated string literal")
+			}
+			c := lx.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\\' && lx.pos < len(lx.src) {
+				c = lx.advance()
+			}
+			b.WriteByte(c)
+		}
+		return token{kind: tString, text: b.String(), line: line, col: col}, nil
+	}
+
+	lx.advance()
+	mk := func(k tokKind, text string) (token, error) {
+		return token{kind: k, text: text, line: line, col: col}, nil
+	}
+	switch c {
+	case '(':
+		return mk(tLParen, "(")
+	case ')':
+		return mk(tRParen, ")")
+	case '[':
+		return mk(tLBrack, "[")
+	case ']':
+		return mk(tRBrack, "]")
+	case ';':
+		return mk(tSemi, ";")
+	case ',':
+		return mk(tComma, ",")
+	case '&':
+		return mk(tAmp, "&")
+	case '|':
+		return mk(tPipe, "|")
+	case '~', '!':
+		return mk(tNot, "~")
+	case '=':
+		return mk(tEq, "=")
+	case '+':
+		if lx.peekByte() == '+' {
+			lx.advance()
+			return mk(tIncr, "++")
+		}
+		return mk(tPlus, "+")
+	case '-':
+		if lx.peekByte() == '-' {
+			lx.advance()
+			return mk(tDecr, "--")
+		}
+		return token{}, lx.errorf(line, col, "unexpected '-' (SNAP has no arithmetic operators)")
+	case '<':
+		if lx.peekByte() == '-' {
+			lx.advance()
+			return mk(tArrow, "<-")
+		}
+		return token{}, lx.errorf(line, col, "unexpected '<'")
+	}
+	return token{}, lx.errorf(line, col, "unexpected character %q", string(c))
+}
+
+// scanNumber lexes integers, dotted-quad IPs and IP prefixes.
+func (lx *lexer) scanNumber(line, col int) (token, error) {
+	start := lx.pos
+	dots := 0
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		if isDigit(c) {
+			lx.advance()
+			continue
+		}
+		if c == '.' && isDigit(lx.peekByteAt(1)) {
+			dots++
+			lx.advance()
+			continue
+		}
+		break
+	}
+	text := lx.src[start:lx.pos]
+	switch dots {
+	case 0:
+		if _, err := strconv.ParseInt(text, 10, 64); err != nil {
+			return token{}, lx.errorf(line, col, "bad integer literal %q", text)
+		}
+		return token{kind: tInt, text: text, line: line, col: col}, nil
+	case 3:
+		if lx.peekByte() == '/' && isDigit(lx.peekByteAt(1)) {
+			lx.advance()
+			lenStart := lx.pos
+			for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+				lx.advance()
+			}
+			return token{kind: tPrefix, text: text + "/" + lx.src[lenStart:lx.pos], line: line, col: col}, nil
+		}
+		return token{kind: tIP, text: text, line: line, col: col}, nil
+	default:
+		return token{}, lx.errorf(line, col, "malformed numeric literal %q", text)
+	}
+}

@@ -1,0 +1,481 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"snap/internal/pkt"
+	"snap/internal/syntax"
+	"snap/internal/values"
+)
+
+// Options configure parsing. Consts maps bare identifiers used in value
+// position (such as "threshold" or TCP state names) to concrete values;
+// unknown identifiers in value position become symbolic string constants.
+// Policies maps names to previously built policies, letting programs
+// reference sub-policies the way the paper composes named components
+// (e.g. "lb" inside conn-affinity, or "flow-size-detect; sample-large").
+type Options struct {
+	Consts   map[string]values.Value
+	Policies map[string]syntax.Policy
+}
+
+// Parse parses a SNAP program in the paper's surface syntax.
+func Parse(src string) (syntax.Policy, error) { return ParseWith(src, Options{}) }
+
+// ParseWith parses with explicit constant and sub-policy environments.
+func ParseWith(src string, opts Options) (syntax.Policy, error) {
+	p := &parser{lx: newLexer(src), opts: opts}
+	if err := p.bump(); err != nil {
+		return nil, err
+	}
+	pol, err := p.parsePolicy()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tEOF {
+		return nil, p.errHere("unexpected %s after end of policy", p.tok.kind)
+	}
+	return pol, nil
+}
+
+// MustParse parses or panics; intended for tests and static program tables.
+func MustParse(src string) syntax.Policy {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustParseWith parses with options or panics.
+func MustParseWith(src string, opts Options) syntax.Policy {
+	p, err := ParseWith(src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	lx   *lexer
+	tok  token
+	opts Options
+}
+
+func (p *parser) bump() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errHere("expected %s, found %s %q", k, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.bump(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) accept(k tokKind) (bool, error) {
+	if p.tok.kind != k {
+		return false, nil
+	}
+	return true, p.bump()
+}
+
+// Operator precedence, loosest to tightest: + ; | & ~ atom. Sequential
+// composition binds tighter than parallel (NetKAT convention), so
+// "p; q + r" is (p;q) + r and the paper's "(a + b); c" needs its parens.
+func (p *parser) parsePolicy() (syntax.Policy, error) {
+	left, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tPlus {
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		left = syntax.Parallel{P: left, Q: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseSeq() (syntax.Policy, error) {
+	left, err := p.parseDisj()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tSemi {
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseDisj()
+		if err != nil {
+			return nil, err
+		}
+		left = syntax.Seq{P: left, Q: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseDisj() (syntax.Policy, error) {
+	left, err := p.parseConj()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tPipe {
+		lp, ok := left.(syntax.Pred)
+		if !ok {
+			return nil, p.errHere("'|' requires predicate operands, found policy %s", left)
+		}
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseConj()
+		if err != nil {
+			return nil, err
+		}
+		rp, ok := right.(syntax.Pred)
+		if !ok {
+			return nil, p.errHere("'|' requires predicate operands, found policy %s", right)
+		}
+		left = syntax.Or{X: lp, Y: rp}
+	}
+	return left, nil
+}
+
+func (p *parser) parseConj() (syntax.Policy, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tAmp {
+		lp, ok := left.(syntax.Pred)
+		if !ok {
+			return nil, p.errHere("'&' requires predicate operands, found policy %s", left)
+		}
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		rp, ok := right.(syntax.Pred)
+		if !ok {
+			return nil, p.errHere("'&' requires predicate operands, found policy %s", right)
+		}
+		left = syntax.And{X: lp, Y: rp}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (syntax.Policy, error) {
+	if p.tok.kind == tNot {
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		pred, ok := inner.(syntax.Pred)
+		if !ok {
+			return nil, p.errHere("'~' requires a predicate operand, found policy %s", inner)
+		}
+		return syntax.Not{X: pred}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (syntax.Policy, error) {
+	switch p.tok.kind {
+	case tLParen:
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parsePolicy()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+
+	case tIdent:
+		switch p.tok.text {
+		case "id":
+			return syntax.Identity{}, p.bump()
+		case "drop":
+			return syntax.Drop{}, p.bump()
+		case "if":
+			return p.parseIf()
+		case "atomic":
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tLParen); err != nil {
+				return nil, err
+			}
+			inner, err := p.parsePolicy()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRParen); err != nil {
+				return nil, err
+			}
+			return syntax.Atomic{P: inner}, nil
+		}
+		return p.parseIdentAtom()
+	}
+	return nil, p.errHere("expected a policy, found %s %q", p.tok.kind, p.tok.text)
+}
+
+func (p *parser) parseIf() (syntax.Policy, error) {
+	if err := p.bump(); err != nil { // consume 'if'
+		return nil, err
+	}
+	cond, err := p.parseDisj()
+	if err != nil {
+		return nil, err
+	}
+	pred, ok := cond.(syntax.Pred)
+	if !ok {
+		return nil, p.errHere("if-condition must be a predicate, found policy %s", cond)
+	}
+	if err := p.expectKeyword("then"); err != nil {
+		return nil, err
+	}
+	thenBranch, err := p.parseThenBody()
+	if err != nil {
+		return nil, err
+	}
+	var elseBranch syntax.Policy = syntax.Identity{}
+	if p.tok.kind == tIdent && p.tok.text == "else" {
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		elseBranch, err = p.parseThenBody()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return syntax.If{Cond: pred, Then: thenBranch, Else: elseBranch}, nil
+}
+
+// parseThenBody parses a branch body: a ;-sequence of +-free policies that
+// stops at 'else' or end of enclosing construct. Parallel composition inside
+// a branch requires parentheses, matching the paper's examples.
+func (p *parser) parseThenBody() (syntax.Policy, error) {
+	left, err := p.parseDisj()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tSemi {
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseDisj()
+		if err != nil {
+			return nil, err
+		}
+		left = syntax.Seq{P: left, Q: right}
+	}
+	return left, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tIdent || p.tok.text != kw {
+		return p.errHere("expected %q, found %s %q", kw, p.tok.kind, p.tok.text)
+	}
+	return p.bump()
+}
+
+// parseIdentAtom handles atoms that begin with an identifier: field tests,
+// field modifications, state tests/updates/counters, and references to named
+// sub-policies.
+func (p *parser) parseIdentAtom() (syntax.Policy, error) {
+	name := p.tok.text
+	if err := p.bump(); err != nil {
+		return nil, err
+	}
+
+	field, isField := pkt.FieldByName(name)
+
+	if p.tok.kind == tLBrack {
+		if isField {
+			return nil, p.errHere("%s is a packet field, not a state variable", name)
+		}
+		return p.parseStateAtom(name)
+	}
+
+	switch p.tok.kind {
+	case tEq:
+		if !isField {
+			return nil, p.errHere("unknown packet field %q in test", name)
+		}
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		return syntax.Test{Field: field, Val: v}, nil
+
+	case tArrow:
+		if !isField {
+			return nil, p.errHere("unknown packet field %q in modification", name)
+		}
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind == values.KindPrefix {
+			// Packet fields hold exact values; the compiler's inference
+			// relies on it (see values.Subsumes).
+			return nil, p.errHere("cannot assign prefix %s to field %s", v, name)
+		}
+		return syntax.Modify{Field: field, Val: v}, nil
+	}
+
+	if sub, ok := p.opts.Policies[name]; ok {
+		return sub, nil
+	}
+	if isField {
+		return nil, p.errHere("packet field %q cannot stand alone as a policy", name)
+	}
+	return nil, p.errHere("unknown policy name %q", name)
+}
+
+// parseStateAtom parses s[e1]...[ek] followed by <-, ++, --, = or nothing
+// (a bare state reference, which tests for True as in Figure 1 line 8).
+func (p *parser) parseStateAtom(name string) (syntax.Policy, error) {
+	var elems []syntax.Expr
+	for p.tok.kind == tLBrack {
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRBrack); err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+	}
+	idx := syntax.Vec(elems...)
+
+	switch p.tok.kind {
+	case tArrow:
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return syntax.SetState{Var: name, Idx: idx, Val: e}, nil
+	case tIncr:
+		return syntax.Incr{Var: name, Idx: idx}, p.bump()
+	case tDecr:
+		return syntax.Decr{Var: name, Idx: idx}, p.bump()
+	case tEq:
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return syntax.StateTest{Var: name, Idx: idx, Val: e}, nil
+	default:
+		return syntax.StateTest{Var: name, Idx: idx, Val: syntax.V(values.Bool(true))}, nil
+	}
+}
+
+// parseExpr parses an expression: a field reference, a literal value or a
+// named constant.
+func (p *parser) parseExpr() (syntax.Expr, error) {
+	if p.tok.kind == tIdent {
+		if f, ok := pkt.FieldByName(p.tok.text); ok {
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			return syntax.F(f), nil
+		}
+	}
+	v, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	return syntax.V(v), nil
+}
+
+// parseValue parses a literal or named-constant value.
+func (p *parser) parseValue() (values.Value, error) {
+	t := p.tok
+	switch t.kind {
+	case tInt:
+		n, _ := strconv.ParseInt(t.text, 10, 64)
+		return values.Int(n), p.bump()
+	case tIP:
+		addr, ok := values.ParseIPv4(t.text)
+		if !ok {
+			return values.None, p.errHere("malformed IP address %q", t.text)
+		}
+		return values.IP(addr), p.bump()
+	case tPrefix:
+		slash := -1
+		for i := 0; i < len(t.text); i++ {
+			if t.text[i] == '/' {
+				slash = i
+				break
+			}
+		}
+		addr, ok := values.ParseIPv4(t.text[:slash])
+		if !ok {
+			return values.None, p.errHere("malformed IP prefix %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text[slash+1:])
+		if err != nil || n > 32 {
+			return values.None, p.errHere("malformed prefix length in %q", t.text)
+		}
+		return values.Prefix(addr, uint8(n)), p.bump()
+	case tString:
+		return values.String(t.text), p.bump()
+	case tIdent:
+		switch t.text {
+		case "True", "true":
+			return values.Bool(true), p.bump()
+		case "False", "false":
+			return values.Bool(false), p.bump()
+		}
+		if v, ok := p.opts.Consts[t.text]; ok {
+			return v, p.bump()
+		}
+		// Symbolic enum constants such as SYN, Iframe, ESTABLISHED.
+		return values.String(t.text), p.bump()
+	}
+	return values.None, p.errHere("expected a value, found %s %q", t.kind, t.text)
+}

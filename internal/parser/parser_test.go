@@ -1,0 +1,294 @@
+package parser_test
+
+import (
+	"snap/internal/parser"
+	"strings"
+	"testing"
+
+	"snap/internal/apps"
+	"snap/internal/pkt"
+	"snap/internal/syntax"
+	"snap/internal/values"
+)
+
+func parseOK(t *testing.T, src string) syntax.Policy {
+	t.Helper()
+	p, err := parser.ParseWith(src, parser.Options{Consts: map[string]values.Value{"threshold": values.Int(3)}})
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return p
+}
+
+func TestAtoms(t *testing.T) {
+	if _, ok := parseOK(t, "id").(syntax.Identity); !ok {
+		t.Error("id")
+	}
+	if _, ok := parseOK(t, "drop").(syntax.Drop); !ok {
+		t.Error("drop")
+	}
+	tst, ok := parseOK(t, "srcport = 53").(syntax.Test)
+	if !ok || tst.Field != pkt.SrcPort || !values.Eq(tst.Val, values.Int(53)) {
+		t.Errorf("field test: %#v", tst)
+	}
+	mod, ok := parseOK(t, "outport <- 6").(syntax.Modify)
+	if !ok || mod.Field != pkt.Outport || !values.Eq(mod.Val, values.Int(6)) {
+		t.Errorf("modify: %#v", mod)
+	}
+}
+
+func TestIPLiterals(t *testing.T) {
+	tst := parseOK(t, "dstip = 10.0.6.0/24").(syntax.Test)
+	if tst.Val.Kind != values.KindPrefix || tst.Val.Len != 24 {
+		t.Errorf("prefix literal: %v", tst.Val)
+	}
+	tst = parseOK(t, "srcip = 10.0.6.1").(syntax.Test)
+	if tst.Val.Kind != values.KindIP {
+		t.Errorf("ip literal: %v", tst.Val)
+	}
+}
+
+func TestStateAtoms(t *testing.T) {
+	st, ok := parseOK(t, "orphan[srcip][dstip] <- False").(syntax.SetState)
+	if !ok || st.Var != "orphan" {
+		t.Fatalf("set state: %#v", st)
+	}
+	if n := len(syntaxFlatten(st.Idx)); n != 2 {
+		t.Errorf("index arity %d, want 2", n)
+	}
+	if _, ok := parseOK(t, "c[dstip]++").(syntax.Incr); !ok {
+		t.Error("incr")
+	}
+	if _, ok := parseOK(t, "c[dstip]--").(syntax.Decr); !ok {
+		t.Error("decr")
+	}
+	// Bare state reference tests for True (Figure 1 line 8).
+	bare, ok := parseOK(t, "orphan[srcip][dstip]").(syntax.StateTest)
+	if !ok || !values.Eq(bare.Val.(syntax.Const).Val, values.Bool(true)) {
+		t.Fatalf("bare state test: %#v", bare)
+	}
+	// Explicit comparison against a field.
+	cmp := parseOK(t, "last-ttl[dns.rdata] = dns.ttl").(syntax.StateTest)
+	if fr, ok := cmp.Val.(syntax.FieldRef); !ok || fr.Field != pkt.DNSTTL {
+		t.Fatalf("state test value: %#v", cmp.Val)
+	}
+}
+
+func syntaxFlatten(e syntax.Expr) []syntax.Expr {
+	if t, ok := e.(syntax.TupleExpr); ok {
+		return t.Elems
+	}
+	return []syntax.Expr{e}
+}
+
+func TestPrecedence(t *testing.T) {
+	// ';' binds tighter than '+': p + q; r ≡ p + (q; r).
+	p := parseOK(t, "id + drop; id")
+	par, ok := p.(syntax.Parallel)
+	if !ok {
+		t.Fatalf("want parallel at top, got %T", p)
+	}
+	if _, ok := par.Q.(syntax.Seq); !ok {
+		t.Fatalf("want seq on the right, got %T", par.Q)
+	}
+
+	// '&' binds tighter than '|'.
+	q := parseOK(t, "srcport = 1 | srcport = 2 & dstport = 3")
+	or, ok := q.(syntax.Or)
+	if !ok {
+		t.Fatalf("want or at top, got %T", q)
+	}
+	if _, ok := or.Y.(syntax.And); !ok {
+		t.Fatalf("want and on the right, got %T", or.Y)
+	}
+
+	// '~' binds tightest.
+	r := parseOK(t, "~srcport = 1 & dstport = 2")
+	and, ok := r.(syntax.And)
+	if !ok {
+		t.Fatalf("want and at top, got %T", r)
+	}
+	if _, ok := and.X.(syntax.Not); !ok {
+		t.Fatalf("want not on the left, got %T", and.X)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	p := parseOK(t, `
+if srcport = 53 then
+  a[dstip] <- True;
+  b[dstip]++
+else id`)
+	ifn, ok := p.(syntax.If)
+	if !ok {
+		t.Fatalf("want if, got %T", p)
+	}
+	if _, ok := ifn.Then.(syntax.Seq); !ok {
+		t.Fatalf("then-branch should be a sequence, got %T", ifn.Then)
+	}
+	// else-less if defaults to id.
+	p2 := parseOK(t, "if srcport = 53 then drop").(syntax.If)
+	if _, ok := p2.Else.(syntax.Identity); !ok {
+		t.Fatalf("missing else must default to id, got %T", p2.Else)
+	}
+	// Nested if-else chains associate with the nearest else.
+	p3 := parseOK(t, `
+if srcport = 1 then id
+else if srcport = 2 then drop
+else id`).(syntax.If)
+	if _, ok := p3.Else.(syntax.If); !ok {
+		t.Fatalf("chained else-if, got %T", p3.Else)
+	}
+}
+
+func TestAtomicBlock(t *testing.T) {
+	p := parseOK(t, "atomic(a[inport] <- srcip; b[inport] <- dstport)")
+	at, ok := p.(syntax.Atomic)
+	if !ok {
+		t.Fatalf("want atomic, got %T", p)
+	}
+	if _, ok := at.P.(syntax.Seq); !ok {
+		t.Fatalf("atomic body, got %T", at.P)
+	}
+}
+
+func TestConstsAndEnumFallback(t *testing.T) {
+	p := parseOK(t, "c[srcip] = threshold").(syntax.StateTest)
+	if c := p.Val.(syntax.Const); !values.Eq(c.Val, values.Int(3)) {
+		t.Fatalf("threshold const: %v", c.Val)
+	}
+	q := parseOK(t, "tcp.flags = SYN-ACK").(syntax.Test)
+	if !values.Eq(q.Val, values.String("SYN-ACK")) {
+		t.Fatalf("enum fallback: %v", q.Val)
+	}
+	r := parseOK(t, `content = "Kindle/3.0+"`).(syntax.Test)
+	if !values.Eq(r.Val, values.String("Kindle/3.0+")) {
+		t.Fatalf("string literal: %v", r.Val)
+	}
+}
+
+func TestSubPolicyReference(t *testing.T) {
+	lb := syntax.Assign(pkt.Outport, values.Int(1))
+	p, err := parser.ParseWith("if srcport = 80 then lb else id", parser.Options{
+		Policies: map[string]syntax.Policy{"lb": lb},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifn := p.(syntax.If)
+	if m, ok := ifn.Then.(syntax.Modify); !ok || m.Field != pkt.Outport {
+		t.Fatalf("sub-policy reference: %#v", ifn.Then)
+	}
+}
+
+func TestComments(t *testing.T) {
+	parseOK(t, `
+# track flows
+c[srcip]++  # per-source counter
+`)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                          // empty
+		"nosuchfield = 5",           // unknown field in test
+		"srcip <- 10.0.0.0/24",      // prefix assigned to field
+		"if id then",                // missing branch
+		"srcport = ",                // missing value
+		"orphan[",                   // unterminated index
+		"a[inport] <- ",             // missing RHS
+		"(id",                       // unbalanced paren
+		"~(outport <- 1)",           // negating a policy
+		"(outport <- 1) & id",       // & on a policy
+		"id; 5",                     // bare value as policy
+		"srcip",                     // bare field
+		"a - b",                     // stray dash
+		"unknownpolicy",             // unresolved name
+		`if srcport = 1 then id id`, // trailing garbage
+	}
+	for _, src := range cases {
+		if _, err := parser.Parse(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+// TestRoundTrip: rendering a parsed policy and reparsing it yields the same
+// rendering (printer and parser agree).
+func TestRoundTrip(t *testing.T) {
+	sources := []string{
+		"id",
+		"drop",
+		"srcport = 53",
+		"dstip = 10.0.6.0/24",
+		"outport <- 6",
+		"orphan[srcip][dstip] <- False",
+		"c[inport]++",
+		"if srcport = 53 then a[dstip] <- True else id",
+		"(id + c[inport]++); outport <- 1",
+		"~(srcport = 53) & dstport = 80",
+		"atomic(a[inport] <- srcip; b[inport] <- dstport)",
+	}
+	for _, src := range sources {
+		p1 := parseOK(t, src)
+		s1 := p1.String()
+		p2 := parseOK(t, s1)
+		if s2 := p2.String(); s1 != s2 {
+			t.Errorf("round trip diverged:\n src: %s\n s1: %s\n s2: %s", src, s1, s2)
+		}
+	}
+}
+
+// TestAllAppsRoundTrip round-trips every Table 3 program.
+func TestAllAppsRoundTrip(t *testing.T) {
+	for _, a := range apps.All() {
+		p1, err := a.Policy()
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		s1 := p1.String()
+		p2, err := parser.ParseWith(s1, a.Opts)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\nsource:\n%s", a.Name, err, s1)
+		}
+		if s2 := p2.String(); s1 != s2 {
+			t.Errorf("%s: round trip diverged", a.Name)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := parser.Parse("id;\n  bogusname")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*parser.Error)
+	if !ok {
+		t.Fatalf("want *Error, got %T", err)
+	}
+	if perr.Line != 2 {
+		t.Errorf("error line %d, want 2 (%v)", perr.Line, err)
+	}
+	if !strings.Contains(perr.Msg, "bogusname") {
+		t.Errorf("error should name the offender: %v", err)
+	}
+}
+
+func TestLexerIdentifiers(t *testing.T) {
+	// Dashed identifiers end before '--'.
+	p := parseOK(t, "susp-client[srcip]--")
+	d, ok := p.(syntax.Decr)
+	if !ok || d.Var != "susp-client" {
+		t.Fatalf("dashed ident + decrement: %#v", p)
+	}
+	// Dotted identifiers are fields.
+	q := parseOK(t, "dns.rdata = 10.0.0.1").(syntax.Test)
+	if q.Field != pkt.DNSRData {
+		t.Fatalf("dotted field: %v", q.Field)
+	}
+	// http.user-agent mixes dots and dashes.
+	r := parseOK(t, `http.user-agent = "ua"`).(syntax.Test)
+	if r.Field != pkt.HTTPUserAgent {
+		t.Fatalf("mixed field: %v", r.Field)
+	}
+}

@@ -1,0 +1,96 @@
+package pkt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"snap/internal/values"
+)
+
+func TestFieldRegistry(t *testing.T) {
+	for f := Field(1); f < NumFields; f++ {
+		name := f.String()
+		got, ok := FieldByName(name)
+		if !ok || got != f {
+			t.Errorf("registry round trip for %s: (%v, %v)", name, got, ok)
+		}
+	}
+	if _, ok := FieldByName("nonesuch"); ok {
+		t.Error("unknown field resolved")
+	}
+	if FieldNone.Valid() || NumFields.Valid() {
+		t.Error("sentinels must be invalid")
+	}
+	names := FieldNames()
+	if len(names) != int(NumFields)-1 {
+		t.Errorf("FieldNames: %d names, want %d", len(names), int(NumFields)-1)
+	}
+}
+
+func TestWithDoesNotMutate(t *testing.T) {
+	p := New(map[Field]values.Value{SrcIP: values.IPv4(1, 2, 3, 4)})
+	q := p.With(SrcIP, values.IPv4(5, 6, 7, 8))
+	if values.Eq(p.Field(SrcIP), q.Field(SrcIP)) {
+		t.Fatal("With must not mutate the receiver")
+	}
+	if !values.Eq(p.Field(SrcIP), values.IPv4(1, 2, 3, 4)) {
+		t.Fatal("original changed")
+	}
+}
+
+func TestUnsetFieldsAreNone(t *testing.T) {
+	var p Packet
+	for f := Field(1); f < NumFields; f++ {
+		if !p.Field(f).IsNone() {
+			t.Errorf("zero packet has %s set", f)
+		}
+	}
+	if !p.Field(FieldNone).IsNone() || !p.Field(NumFields+7).IsNone() {
+		t.Error("invalid fields must read as None")
+	}
+	// Setting an invalid field is a no-op.
+	q := p.With(NumFields+7, values.Int(1))
+	if !q.Equal(p) {
+		t.Error("invalid With must be a no-op")
+	}
+}
+
+// TestKeyEqualConsistency: packets are Equal iff their keys match.
+func TestKeyEqualConsistency(t *testing.T) {
+	f := func(a, b uint8, x, y int16) bool {
+		p := New(map[Field]values.Value{
+			SrcIP:   values.IPv4(10, 0, a%4, 1),
+			SrcPort: values.Int(int64(x % 8)),
+		})
+		q := New(map[Field]values.Value{
+			SrcIP:   values.IPv4(10, 0, b%4, 1),
+			SrcPort: values.Int(int64(y % 8)),
+		})
+		return p.Equal(q) == (p.Key() == q.Key())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortKeysDeterministic(t *testing.T) {
+	mk := func(port int64) Packet {
+		return New(map[Field]values.Value{SrcPort: values.Int(port)})
+	}
+	a := []Packet{mk(3), mk(1), mk(2)}
+	b := []Packet{mk(2), mk(3), mk(1)}
+	SortKeys(a)
+	SortKeys(b)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("sort order differs at %d", i)
+		}
+	}
+}
+
+func TestStringRendersSetFieldsOnly(t *testing.T) {
+	p := New(map[Field]values.Value{Inport: values.Int(3)})
+	if got := p.String(); got != "{inport=3}" {
+		t.Errorf("String: %q", got)
+	}
+}

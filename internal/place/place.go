@@ -1,0 +1,543 @@
+// Package place decides state placement and traffic routing (§4.4 of the
+// paper): given a topology, a traffic matrix, the packet-state mapping and
+// the state dependency order, it places every state variable on exactly one
+// switch and picks a path for every OBS port pair that traverses the
+// variables the pair needs, in dependency order, while minimizing the sum
+// of link utilization.
+//
+// Two engines implement the optimization:
+//
+//   - An exact mixed-integer program (milp.go in this package) that encodes
+//     Table 2 of the paper verbatim over an augmented port/switch graph and
+//     solves it with internal/milp. Practical for small instances; used to
+//     validate the heuristic.
+//   - A scalable heuristic (this file): tied variables are grouped, groups
+//     are seeded at their demand-weighted 1-median and improved by local
+//     search, and each pair is routed over the waypoint-ordered shortest
+//     path (link weight 1/capacity, which makes per-pair shortest paths
+//     exactly optimal for the utilization-sum objective whenever capacity
+//     constraints are slack), followed by penalty-based rerouting when
+//     links overload.
+//
+// The TE variant (§6.2 "Topology/TM Changes") keeps placement fixed and
+// reruns routing only.
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"snap/internal/deps"
+	"snap/internal/psmap"
+	"snap/internal/topo"
+	"snap/internal/traffic"
+)
+
+// Inputs collects everything the optimizer consumes (Table 1 of the paper).
+type Inputs struct {
+	Topo    *topo.Topology
+	Demands traffic.Matrix
+	Mapping *psmap.Mapping
+	Order   *deps.Order
+}
+
+// Route is the selected path for one OBS port pair.
+type Route struct {
+	Nodes     []topo.NodeID // switch sequence, ingress switch first
+	Links     []int         // link indices parallel to Nodes transitions
+	Waypoints []string      // state variables in visit order
+}
+
+// Result is a placement-and-routing outcome.
+type Result struct {
+	Placement  map[string]topo.NodeID
+	Routes     map[[2]int]Route
+	Congestion float64 // Σ_links load/capacity (the paper's objective)
+	MaxUtil    float64
+	Method     string
+}
+
+// Method selects the solve engine.
+type Method uint8
+
+// Engine choices.
+const (
+	Auto Method = iota
+	Heuristic
+	Exact
+)
+
+// Options tune the solve.
+type Options struct {
+	Method Method
+	// LocalIters is the number of placement hill-climbing rounds
+	// (default 3; negative disables local search entirely, leaving the
+	// 1-median seed — the ablation baseline).
+	LocalIters    int
+	PenaltyRounds int // capacity-overload rerouting rounds (default 3)
+	MILPMaxNodes  int // branch-and-bound node budget for Exact
+	// ExactLimit is the largest estimated column count Auto will hand to
+	// the exact engine.
+	ExactLimit int
+}
+
+func (o Options) withDefaults() Options {
+	if o.LocalIters == 0 {
+		o.LocalIters = 3
+	}
+	if o.LocalIters < 0 {
+		o.LocalIters = 0
+	}
+	if o.PenaltyRounds == 0 {
+		o.PenaltyRounds = 3
+	}
+	if o.ExactLimit == 0 {
+		o.ExactLimit = 600
+	}
+	return o
+}
+
+// Model is the reusable part of the optimization: the topology-dependent
+// precomputation (link weights, all-pairs shortest paths). The paper's P4
+// phase ("MILP creation") builds this once per topology/traffic pair; later
+// policy changes reuse it and only re-run the solve phases (§6.2, Table 4).
+type Model struct {
+	topo        *topo.Topology
+	demands     traffic.Matrix
+	opts        Options
+	baseWeights []float64
+	baseDist    [][]float64
+	basePrev    [][]int
+}
+
+// NewModel performs the P4 precomputation for a topology and traffic
+// matrix.
+func NewModel(t *topo.Topology, demands traffic.Matrix, opts Options) *Model {
+	opts = opts.withDefaults()
+	m := &Model{topo: t, demands: demands, opts: opts}
+	m.baseWeights = make([]float64, len(t.Links))
+	for i, l := range t.Links {
+		if l.Capacity > 0 {
+			m.baseWeights[i] = 1 / l.Capacity
+		} else {
+			m.baseWeights[i] = 1
+		}
+	}
+	n := t.Switches
+	m.baseDist = make([][]float64, n)
+	m.basePrev = make([][]int, n)
+	for v := 0; v < n; v++ {
+		m.baseDist[v], m.basePrev[v] = t.ShortestDists(topo.NodeID(v), m.baseWeights)
+	}
+	return m
+}
+
+func (m *Model) inputs(mapping *psmap.Mapping, order *deps.Order) Inputs {
+	return Inputs{Topo: m.topo, Demands: m.demands, Mapping: mapping, Order: order}
+}
+
+func (m *Model) newSolver() *solver {
+	s := &solver{opts: m.opts}
+	s.weights = append([]float64(nil), m.baseWeights...)
+	s.dist = m.baseDist
+	s.prev = m.basePrev
+	return s
+}
+
+// SolveST decides placement and routing jointly for a policy's mapping and
+// dependency order (the paper's "ST" solve, P5).
+func (m *Model) SolveST(mapping *psmap.Mapping, order *deps.Order) (*Result, error) {
+	in := m.inputs(mapping, order)
+	switch m.opts.Method {
+	case Exact:
+		return solveExact(in, nil, m.opts)
+	case Heuristic:
+		return solveHeuristicModel(m, in, nil)
+	default:
+		if exactColumns(in) <= m.opts.ExactLimit {
+			if r, err := solveExact(in, nil, m.opts); err == nil {
+				return r, nil
+			}
+		}
+		return solveHeuristicModel(m, in, nil)
+	}
+}
+
+// exactColumns estimates the exact engine's column count: routing variables
+// for every pair plus passed-flow variables for every (stateful pair,
+// variable) combination. The dense simplex is O(rows·cols) per pivot, so
+// Auto hands only genuinely small instances to it.
+func exactColumns(in Inputs) int {
+	links := len(in.Topo.Links) + 2*len(in.Topo.Ports)
+	cols := len(in.Demands) * links
+	for _, set := range in.Mapping.Vars {
+		cols += len(set) * links
+	}
+	cols += len(in.Order.Pos) * in.Topo.Switches
+	return cols
+}
+
+// SolveTE re-optimizes routing only, with placement fixed (the paper's
+// "TE" solve).
+func (m *Model) SolveTE(mapping *psmap.Mapping, order *deps.Order, fixed map[string]topo.NodeID) (*Result, error) {
+	in := m.inputs(mapping, order)
+	if m.opts.Method == Exact {
+		return solveExact(in, fixed, m.opts)
+	}
+	return solveHeuristicModel(m, in, fixed)
+}
+
+// Solve is the one-shot convenience wrapper: NewModel + SolveST.
+func Solve(in Inputs, opts Options) (*Result, error) {
+	return NewModel(in.Topo, in.Demands, opts).SolveST(in.Mapping, in.Order)
+}
+
+// SolveTE is the one-shot convenience wrapper for the TE scenario.
+func SolveTE(in Inputs, fixed map[string]topo.NodeID, opts Options) (*Result, error) {
+	return NewModel(in.Topo, in.Demands, opts).SolveTE(in.Mapping, in.Order, fixed)
+}
+
+// --- Heuristic engine ---
+
+// group is a set of tied state variables that must share a switch.
+type group struct {
+	vars []string
+	node topo.NodeID
+}
+
+func buildGroups(in Inputs) []*group {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(s string) string {
+		if p, ok := parent[s]; ok && p != s {
+			r := find(p)
+			parent[s] = r
+			return r
+		}
+		return s
+	}
+	vars := make([]string, 0, len(in.Order.Pos))
+	for s := range in.Order.Pos {
+		vars = append(vars, s)
+		parent[s] = s
+	}
+	sort.Strings(vars)
+	for _, tie := range in.Order.Tied {
+		a, b := find(tie[0]), find(tie[1])
+		if a != b {
+			parent[a] = b
+		}
+	}
+	byRoot := map[string][]string{}
+	for _, s := range vars {
+		r := find(s)
+		byRoot[r] = append(byRoot[r], s)
+	}
+	roots := make([]string, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+	out := make([]*group, 0, len(roots))
+	for _, r := range roots {
+		sort.Strings(byRoot[r])
+		out = append(out, &group{vars: byRoot[r]})
+	}
+	return out
+}
+
+// solver carries shared heuristic state.
+type solver struct {
+	in      Inputs
+	opts    Options
+	weights []float64   // per-link routing weight
+	dist    [][]float64 // all-pairs distances under weights
+	prev    [][]int     // predecessor links per source
+}
+
+func (s *solver) computeAllDists() {
+	n := s.in.Topo.Switches
+	s.dist = make([][]float64, n)
+	s.prev = make([][]int, n)
+	for v := 0; v < n; v++ {
+		s.dist[v], s.prev[v] = s.in.Topo.ShortestDists(topo.NodeID(v), s.weights)
+	}
+}
+
+// pairSeq returns the state-variable sequence pair uv must traverse, in
+// dependency order, given the current placement (consecutive waypoints on
+// the same switch collapse naturally during routing).
+func (s *solver) pairSeq(u, v int) []string {
+	return s.in.Mapping.StateSeq(u, v, s.in.Order)
+}
+
+// pathCost is the placement-evaluation cost of pair uv: the shortest
+// waypoint-ordered distance from su through the placed groups to sv.
+func (s *solver) pathCost(u, v int, loc map[string]topo.NodeID) float64 {
+	pu, _ := s.in.Topo.PortByID(u)
+	pv, _ := s.in.Topo.PortByID(v)
+	cur := pu.Switch
+	total := 0.0
+	for _, sv := range s.pairSeq(u, v) {
+		n := loc[sv]
+		total += s.dist[cur][n]
+		cur = n
+	}
+	total += s.dist[cur][pv.Switch]
+	return total
+}
+
+// solveHeuristicModel runs placement local search (unless fixed) and final
+// routing with capacity penalties, reusing the model's precomputation.
+func solveHeuristicModel(m *Model, in Inputs, fixed map[string]topo.NodeID) (*Result, error) {
+	if len(in.Topo.Ports) == 0 {
+		return nil, fmt.Errorf("place: topology %s has no external ports", in.Topo.Name)
+	}
+	s := m.newSolver()
+	s.in = in
+
+	groups := buildGroups(in)
+	loc := map[string]topo.NodeID{}
+	if fixed != nil {
+		for _, g := range groups {
+			n, ok := fixed[g.vars[0]]
+			if !ok {
+				return nil, fmt.Errorf("place: TE run missing placement for %s", g.vars[0])
+			}
+			g.node = n
+			for _, v := range g.vars {
+				loc[v] = n
+			}
+		}
+	} else {
+		s.seedPlacement(groups, loc)
+		s.improvePlacement(groups, loc)
+	}
+
+	routes, congestion, maxUtil := s.route(loc)
+	method := "heuristic-st"
+	if fixed != nil {
+		method = "heuristic-te"
+	}
+	return &Result{
+		Placement:  loc,
+		Routes:     routes,
+		Congestion: congestion,
+		MaxUtil:    maxUtil,
+		Method:     method,
+	}, nil
+}
+
+// pairsNeeding indexes demand pairs by the state group they need.
+func (s *solver) pairsNeeding(g *group) [][2]int {
+	need := map[[2]int]bool{}
+	for _, v := range g.vars {
+		for pair, set := range s.in.Mapping.Vars {
+			if set[v] {
+				need[pair] = true
+			}
+		}
+	}
+	out := make([][2]int, 0, len(need))
+	for p := range need {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// seedPlacement puts each group at its demand-weighted 1-median: the switch
+// minimizing Σ duv·(d(su,n)+d(n,sv)) over the pairs needing it.
+func (s *solver) seedPlacement(groups []*group, loc map[string]topo.NodeID) {
+	for _, g := range groups {
+		pairs := s.pairsNeeding(g)
+		bestN, bestC := topo.NodeID(0), math.Inf(1)
+		for n := 0; n < s.in.Topo.Switches; n++ {
+			c := 0.0
+			for _, pr := range pairs {
+				d := s.in.Demands[pr]
+				if d == 0 {
+					continue
+				}
+				pu, _ := s.in.Topo.PortByID(pr[0])
+				pv, _ := s.in.Topo.PortByID(pr[1])
+				c += d * (s.dist[pu.Switch][n] + s.dist[n][pv.Switch])
+			}
+			if c < bestC {
+				bestC, bestN = c, topo.NodeID(n)
+			}
+		}
+		g.node = bestN
+		for _, v := range g.vars {
+			loc[v] = bestN
+		}
+	}
+}
+
+// improvePlacement hill-climbs group locations against the exact
+// waypoint-ordered path cost.
+func (s *solver) improvePlacement(groups []*group, loc map[string]topo.NodeID) {
+	for iter := 0; iter < s.opts.LocalIters; iter++ {
+		improved := false
+		for _, g := range groups {
+			pairs := s.pairsNeeding(g)
+			cur := s.totalCost(pairs, loc)
+			bestN, bestC := g.node, cur
+			for n := 0; n < s.in.Topo.Switches; n++ {
+				if topo.NodeID(n) == g.node {
+					continue
+				}
+				for _, v := range g.vars {
+					loc[v] = topo.NodeID(n)
+				}
+				if c := s.totalCost(pairs, loc); c < bestC-1e-12 {
+					bestC, bestN = c, topo.NodeID(n)
+				}
+			}
+			for _, v := range g.vars {
+				loc[v] = bestN
+			}
+			if bestN != g.node {
+				g.node = bestN
+				improved = true
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+func (s *solver) totalCost(pairs [][2]int, loc map[string]topo.NodeID) float64 {
+	c := 0.0
+	for _, pr := range pairs {
+		if d := s.in.Demands[pr]; d > 0 {
+			c += d * s.pathCost(pr[0], pr[1], loc)
+		}
+	}
+	return c
+}
+
+// route computes final paths for every demand pair under the current
+// weights, then reroutes overloaded links with multiplicative penalties.
+func (s *solver) route(loc map[string]topo.NodeID) (map[[2]int]Route, float64, float64) {
+	routes := make(map[[2]int]Route, len(s.in.Demands))
+	for round := 0; ; round++ {
+		load := make([]float64, len(s.in.Topo.Links))
+		for _, pr := range s.in.Demands.Pairs() {
+			r := s.buildRoute(pr[0], pr[1], loc)
+			routes[pr] = r
+			for _, li := range r.Links {
+				load[li] += s.in.Demands[pr]
+			}
+		}
+		congestion, maxUtil := 0.0, 0.0
+		overloaded := false
+		for i, l := range s.in.Topo.Links {
+			if l.Capacity <= 0 {
+				continue
+			}
+			u := load[i] / l.Capacity
+			congestion += u
+			if u > maxUtil {
+				maxUtil = u
+			}
+			if u > 1+1e-9 {
+				overloaded = true
+			}
+		}
+		if !overloaded || round >= s.opts.PenaltyRounds {
+			return routes, congestion, maxUtil
+		}
+		// Penalize overloaded links and recompute distances.
+		for i, l := range s.in.Topo.Links {
+			if l.Capacity > 0 && load[i] > l.Capacity {
+				s.weights[i] *= 1 + 2*(load[i]/l.Capacity-1)
+			}
+		}
+		s.computeAllDists()
+	}
+}
+
+// buildRoute threads pair uv through its placed waypoints and strips any
+// cycles that do not contain a waypoint visit.
+func (s *solver) buildRoute(u, v int, loc map[string]topo.NodeID) Route {
+	pu, _ := s.in.Topo.PortByID(u)
+	pv, _ := s.in.Topo.PortByID(v)
+	seq := s.pairSeq(u, v)
+
+	nodes := []topo.NodeID{pu.Switch}
+	var links []int
+	waypointAt := map[int]bool{0: false}
+	cur := pu.Switch
+
+	hop := func(to topo.NodeID) {
+		if to == cur {
+			return
+		}
+		path := s.in.Topo.PathLinks(s.prev[cur], to)
+		for _, li := range path {
+			links = append(links, li)
+			nodes = append(nodes, s.in.Topo.Links[li].To)
+		}
+		cur = to
+	}
+	for _, sv := range seq {
+		hop(loc[sv])
+		waypointAt[len(nodes)-1] = true
+	}
+	hop(pv.Switch)
+
+	nodes, links = removeCycles(nodes, links, waypointAt)
+	return Route{Nodes: nodes, Links: links, Waypoints: seq}
+}
+
+// removeCycles deletes revisit loops that contain no waypoint, preserving
+// the waypoint visit order (the MILP's Σ R_uvin ≤ 1 constraint analogue).
+func removeCycles(nodes []topo.NodeID, links []int, waypointAt map[int]bool) ([]topo.NodeID, []int) {
+	for {
+		last := map[topo.NodeID]int{}
+		cut := false
+		for i, n := range nodes {
+			if j, seen := last[n]; seen {
+				// Candidate cycle nodes j..i; removable if no waypoint
+				// strictly inside (j exclusive, i inclusive).
+				ok := true
+				for k := j + 1; k <= i; k++ {
+					if waypointAt[k] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					// Splice out nodes j+1..i and links j..i-1.
+					newNodes := append(append([]topo.NodeID{}, nodes[:j+1]...), nodes[i+1:]...)
+					newLinks := append(append([]int{}, links[:j]...), links[i:]...)
+					// Re-key waypoint positions after the splice.
+					newWp := map[int]bool{}
+					for k, w := range waypointAt {
+						switch {
+						case k <= j:
+							newWp[k] = newWp[k] || w
+						case k > i:
+							newWp[k-(i-j)] = newWp[k-(i-j)] || w
+						}
+					}
+					nodes, links, waypointAt = newNodes, newLinks, newWp
+					cut = true
+					break
+				}
+			}
+			last[n] = i
+		}
+		if !cut {
+			return nodes, links
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package psmap implements packet-state mapping (§4.3 and Appendix E of the
+// paper): traversing a program's xFDD from root to leaves to determine, for
+// every OBS ingress/egress port pair, which state variables the pair's
+// packets read or write. The result feeds the placement-and-routing
+// optimization (§4.4) as the S_uv input.
+//
+// Flows whose egress cannot be determined (paths that drop the packet after
+// touching state, or leaves that never assign an outport) are attributed to
+// every candidate egress, the conservative counterpart of the paper's
+// Appendix D treatment; composing an assumption policy (§4.3) narrows the
+// ingress sets the same way it does in the paper.
+package psmap
+
+import (
+	"sort"
+
+	"snap/internal/deps"
+	"snap/internal/pkt"
+	"snap/internal/values"
+	"snap/internal/xfdd"
+)
+
+// Mapping is the packet-state mapping: state variables needed per ordered
+// OBS port pair, plus the set of variables needed by any flow at all.
+type Mapping struct {
+	// Vars[uv] is the set of state variables flows from u to v require.
+	Vars map[[2]int]map[string]bool
+	// All is the union over pairs.
+	All map[string]bool
+}
+
+// StateSeq returns the pair's variables in dependency order — the order in
+// which the flow must traverse them.
+func (m *Mapping) StateSeq(u, v int, order *deps.Order) []string {
+	set := m.Vars[[2]int{u, v}]
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return order.Pos[out[i]] < order.Pos[out[j]] })
+	return out
+}
+
+// Pairs returns the port pairs that need at least one state variable,
+// sorted.
+func (m *Mapping) Pairs() [][2]int {
+	out := make([][2]int, 0, len(m.Vars))
+	for k, set := range m.Vars {
+		if len(set) > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Build computes the packet-state mapping of a diagram over the given OBS
+// port ids. It walks every root-to-leaf path, tracking the feasible ingress
+// ports (narrowed by inport tests) and the state variables read by tests on
+// the path; at each leaf, the variables written by each action sequence are
+// attributed to the flow(s) that sequence emits.
+func Build(d *xfdd.Diagram, ports []int) *Mapping {
+	m := &Mapping{
+		Vars: map[[2]int]map[string]bool{},
+		All:  map[string]bool{},
+	}
+	sorted := append([]int(nil), ports...)
+	sort.Ints(sorted)
+	walk(d, newPortSet(sorted), nil, sorted, m)
+	return m
+}
+
+// portSet tracks feasible inports as membership over the declared ports.
+type portSet struct {
+	members map[int]bool
+}
+
+func newPortSet(ports []int) portSet {
+	ms := make(map[int]bool, len(ports))
+	for _, p := range ports {
+		ms[p] = true
+	}
+	return portSet{members: ms}
+}
+
+func (s portSet) clone() portSet {
+	ms := make(map[int]bool, len(s.members))
+	for k, v := range s.members {
+		ms[k] = v
+	}
+	return portSet{members: ms}
+}
+
+func (s portSet) restrictTo(p int) portSet {
+	out := portSet{members: map[int]bool{}}
+	if s.members[p] {
+		out.members[p] = true
+	}
+	return out
+}
+
+func (s portSet) exclude(p int) portSet {
+	out := s.clone()
+	delete(out.members, p)
+	return out
+}
+
+func (s portSet) empty() bool { return len(s.members) == 0 }
+
+func (s portSet) list() []int {
+	out := make([]int, 0, len(s.members))
+	for p := range s.members {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func walk(d *xfdd.Diagram, inports portSet, reads []string, allPorts []int, m *Mapping) {
+	if inports.empty() {
+		return
+	}
+	if !d.IsLeaf() {
+		readsHere := reads
+		trueIn, falseIn := inports, inports
+		switch t := d.Test.(type) {
+		case xfdd.STest:
+			// The read happens on both outcomes: every packet reaching this
+			// node consults the variable.
+			readsHere = append(append([]string(nil), reads...), t.Var)
+		case xfdd.FVTest:
+			if t.Field == pkt.Inport && t.Val.Kind == values.KindInt {
+				p := int(t.Val.Num)
+				trueIn = inports.restrictTo(p)
+				falseIn = inports.exclude(p)
+			}
+		}
+		walk(d.True, trueIn, readsHere, allPorts, m)
+		walk(d.False, falseIn, readsHere, allPorts, m)
+		return
+	}
+
+	for _, seq := range d.Seqs {
+		vars := map[string]bool{}
+		for _, r := range reads {
+			vars[r] = true
+		}
+		for _, w := range seq.StateVars() {
+			vars[w] = true
+		}
+		if len(vars) == 0 {
+			continue
+		}
+		egresses := egressOf(seq, allPorts)
+		for _, u := range inports.list() {
+			for _, v := range egresses {
+				if u == v {
+					continue
+				}
+				key := [2]int{u, v}
+				set := m.Vars[key]
+				if set == nil {
+					set = map[string]bool{}
+					m.Vars[key] = set
+				}
+				for s := range vars {
+					set[s] = true
+					m.All[s] = true
+				}
+			}
+		}
+	}
+}
+
+// egressOf determines the egress ports of one leaf sequence: the last
+// outport assignment if present; otherwise (dropped or undetermined) every
+// port, conservatively.
+func egressOf(seq xfdd.ActionSeq, allPorts []int) []int {
+	out := -1
+	for _, a := range seq {
+		if a.Kind == xfdd.ActModify && a.Field == pkt.Outport && a.Val.Kind == values.KindInt {
+			out = int(a.Val.Num)
+		}
+		if a.Kind == xfdd.ActDrop {
+			out = -1 // dropped: egress unknown; fall through to conservative
+			break
+		}
+	}
+	if out >= 0 {
+		for _, p := range allPorts {
+			if p == out {
+				return []int{out}
+			}
+		}
+		return nil // assigned to a port outside the OBS: never exits
+	}
+	return allPorts
+}

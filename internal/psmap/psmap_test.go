@@ -1,0 +1,188 @@
+package psmap_test
+
+import (
+	"testing"
+
+	"snap/internal/apps"
+	"snap/internal/pkt"
+	"snap/internal/psmap"
+	"snap/internal/syntax"
+	"snap/internal/values"
+	"snap/internal/xfdd"
+)
+
+func build(t *testing.T, p syntax.Policy, ports []int) *psmap.Mapping {
+	t.Helper()
+	d, _, err := xfdd.Translate(p)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	return psmap.Build(d, ports)
+}
+
+var sixPorts = []int{1, 2, 3, 4, 5, 6}
+
+// TestDNSTunnelMapping reproduces the §2.2 analysis: packets destined to
+// port 6 (the protected subnet) need all three state variables.
+func TestDNSTunnelMapping(t *testing.T) {
+	p := syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(6))
+	m := build(t, p, sixPorts)
+	for u := 1; u <= 5; u++ {
+		set := m.Vars[[2]int{u, 6}]
+		for _, v := range []string{"orphan", "susp-client", "blacklist"} {
+			if !set[v] {
+				t.Errorf("S(%d,6) missing %s: %v", u, v, set)
+			}
+		}
+	}
+	if !m.All["blacklist"] {
+		t.Error("All must union every needed variable")
+	}
+}
+
+// TestAssumptionNarrowsIngress: with the assumption policy composed, only
+// flows from port 6 need the outgoing-direction state reads.
+func TestAssumptionNarrowsIngress(t *testing.T) {
+	with := build(t, syntax.Then(
+		apps.Assumption(6),
+		syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(6)),
+	), sixPorts)
+
+	// The outgoing direction (reads orphan, may write susp-client) exits
+	// at ports 1..5; with the assumption it can only *enter* at port 6.
+	for u := 1; u <= 5; u++ {
+		for v := 1; v <= 5; v++ {
+			if u == v {
+				continue
+			}
+			if set := with.Vars[[2]int{u, v}]; len(set) > 0 {
+				t.Errorf("S(%d,%d) should be empty with assumption, got %v", u, v, set)
+			}
+		}
+	}
+	for v := 1; v <= 5; v++ {
+		set := with.Vars[[2]int{6, v}]
+		if !set["orphan"] || !set["susp-client"] {
+			t.Errorf("S(6,%d) missing outgoing-direction vars: %v", v, set)
+		}
+	}
+
+	// Without the assumption, the compiler cannot correlate srcip with
+	// inport, so the outgoing-direction state spreads over all ingresses.
+	without := build(t, syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(6)), sixPorts)
+	spread := 0
+	for u := 1; u <= 5; u++ {
+		for v := 1; v <= 5; v++ {
+			if u != v && len(without.Vars[[2]int{u, v}]) > 0 {
+				spread++
+			}
+		}
+	}
+	if spread == 0 {
+		t.Error("without assumption the mapping should be strictly coarser")
+	}
+}
+
+// TestReadsOnBothBranches: a state test constrains every packet reaching
+// it, whether it passes or fails.
+func TestReadsOnBothBranches(t *testing.T) {
+	// if s[srcip] then outport<-1 else outport<-2: both egresses read s.
+	p := syntax.Cond(
+		syntax.TestState("s", syntax.F(srcIP()), syntax.V(values.Bool(true))),
+		syntax.Assign(outport(), values.Int(1)),
+		syntax.Assign(outport(), values.Int(2)),
+	)
+	m := build(t, p, []int{1, 2})
+	if !m.Vars[[2]int{1, 2}]["s"] || !m.Vars[[2]int{2, 1}]["s"] {
+		t.Fatalf("both directions read s: %v", m.Vars)
+	}
+}
+
+// TestDropPathConservative: state touched on a path that drops is
+// attributed to every candidate egress.
+func TestDropPathConservative(t *testing.T) {
+	p := syntax.Cond(
+		syntax.TestState("fw", syntax.F(srcIP()), syntax.V(values.Bool(true))),
+		syntax.Assign(outport(), values.Int(2)),
+		syntax.Nothing(),
+	)
+	m := build(t, p, []int{1, 2, 3})
+	// The drop branch still read fw; flows toward every egress need it.
+	for _, v := range []int{2, 3} {
+		if !m.Vars[[2]int{1, v}]["fw"] {
+			t.Errorf("S(1,%d) missing fw: %v", v, m.Vars)
+		}
+	}
+}
+
+// TestInportNarrowing: an explicit inport guard pins the ingress set.
+func TestInportNarrowing(t *testing.T) {
+	p := syntax.Cond(
+		syntax.Conj(
+			syntax.FieldEq(inport(), values.Int(3)),
+			syntax.TestState("s", syntax.F(srcIP()), syntax.V(values.Bool(true))),
+		),
+		syntax.Assign(outport(), values.Int(1)),
+		syntax.Id(),
+	)
+	m := build(t, p, []int{1, 2, 3})
+	if !m.Vars[[2]int{3, 1}]["s"] {
+		t.Fatalf("S(3,1) missing s")
+	}
+	// No state needed from other ingresses toward port 1... except via the
+	// conservative id fall-through, which assigns no outport; those packets
+	// never exit, but the failing state test still reads s. The inport=3
+	// false-branch leads to id with no state read before it? The state
+	// test is under the conjunction: packets from other ports short-circuit
+	// at inport=3 and never consult s.
+	if m.Vars[[2]int{2, 1}]["s"] {
+		t.Fatalf("S(2,1) should not need s: the inport guard short-circuits")
+	}
+}
+
+// TestStateSeqOrder: StateSeq returns variables in dependency order.
+func TestStateSeqOrder(t *testing.T) {
+	p := syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(6))
+	d, order, err := xfdd.Translate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := psmap.Build(d, sixPorts)
+	seq := m.StateSeq(1, 6, order)
+	want := []string{"orphan", "susp-client", "blacklist"}
+	if len(seq) != 3 {
+		t.Fatalf("seq = %v", seq)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("seq = %v, want %v", seq, want)
+		}
+	}
+}
+
+// TestPairsOnlyStateful: Pairs lists exactly the pairs with state.
+func TestPairsOnlyStateful(t *testing.T) {
+	p := syntax.Then(apps.Monitor(), apps.AssignEgress(3))
+	m := build(t, p, []int{1, 2, 3})
+	if got, want := len(m.Pairs()), 6; got != want {
+		t.Fatalf("pairs with state = %d, want %d (count is needed everywhere)", got, want)
+	}
+
+	stateless := build(t, apps.AssignEgress(3), []int{1, 2, 3})
+	if got := len(stateless.Pairs()); got != 0 {
+		t.Fatalf("stateless program must have no stateful pairs, got %d", got)
+	}
+}
+
+func srcIP() pktField   { return pktSrcIP }
+func outport() pktField { return pktOutport }
+func inport() pktField  { return pktInport }
+
+// Aliases keep the helper functions compact.
+type pktField = pkt.Field
+
+const (
+	pktSrcIP   = pkt.SrcIP
+	pktOutport = pkt.Outport
+	pktInport  = pkt.Inport
+)

@@ -1,0 +1,312 @@
+// Package rules is the compiler backend (§4.5 of the paper): it combines
+// the program xFDD with the placement and routing decisions to produce
+// per-switch data-plane configurations — a NetASM program per switch plus
+// match-action forwarding tables keyed by the SNAP-header path identifier.
+//
+// Per-switch xFDDs materialize as per-switch NetASM programs sharing one
+// node-id space: a switch compiles real code for every node it can execute
+// (stateless tests, its own state tests and writes) and a suspend stub for
+// each state test held elsewhere. Packets carry the resume node id in
+// their SNAP-header, so processing continues on the next stateful switch
+// exactly where it stopped — the mechanism of the paper's I1 → C6 → D4
+// walk-through.
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"snap/internal/netasm"
+	"snap/internal/place"
+	"snap/internal/topo"
+	"snap/internal/xfdd"
+)
+
+// SwitchStats counts the configuration a switch received, for the
+// evaluation's rule-size accounting.
+type SwitchStats struct {
+	Branches     int // stateless + local state branches
+	SuspendStubs int // remote state tests
+	StateOps     int // local state writes
+	ResolveOps   int // remote writes resolved into the header
+	ForwardRules int // match-action path entries
+}
+
+// SwitchConfig is one switch's data-plane configuration.
+type SwitchConfig struct {
+	Node topo.NodeID
+	Prog *netasm.Program
+	Owns map[string]bool
+	// RouteNext maps an OBS pair (u,v) to the outgoing link on its
+	// optimizer-chosen path.
+	RouteNext map[[2]int]int
+	// SPNext[d] is the outgoing link toward switch d (shortest path), the
+	// fallback used while a packet's egress is still unknown (Appendix D).
+	SPNext []int
+	// LocalPorts lists OBS ports attached to this switch.
+	LocalPorts []int
+	Stats      SwitchStats
+}
+
+// Config is the full network configuration produced by the compiler.
+type Config struct {
+	Topo      *topo.Topology
+	Diagram   *xfdd.Diagram
+	RootID    int
+	NodeCount int
+	Placement map[string]topo.NodeID
+	Switches  map[topo.NodeID]*SwitchConfig
+}
+
+// Generate compiles per-switch configurations from the xFDD and the
+// optimizer's placement and routes.
+func Generate(d *xfdd.Diagram, t *topo.Topology, placement map[string]topo.NodeID, routes map[[2]int]place.Route) (*Config, error) {
+	ids, count := numberNodes(d)
+
+	cfg := &Config{
+		Topo:      t,
+		Diagram:   d,
+		RootID:    ids[d],
+		NodeCount: count,
+		Placement: placement,
+		Switches:  map[topo.NodeID]*SwitchConfig{},
+	}
+
+	spNext := allPairsNextHop(t)
+
+	for n := 0; n < t.Switches; n++ {
+		node := topo.NodeID(n)
+		owns := map[string]bool{}
+		for v, at := range placement {
+			if at == node {
+				owns[v] = true
+			}
+		}
+		sc := &SwitchConfig{
+			Node:      node,
+			Owns:      owns,
+			RouteNext: map[[2]int]int{},
+			SPNext:    spNext[n],
+		}
+		prog, stats, err := compileProgram(d, ids, owns)
+		if err != nil {
+			return nil, err
+		}
+		sc.Prog = prog
+		sc.Stats = stats
+		cfg.Switches[node] = sc
+	}
+
+	for _, p := range t.Ports {
+		sc := cfg.Switches[p.Switch]
+		sc.LocalPorts = append(sc.LocalPorts, p.ID)
+	}
+	for _, sc := range cfg.Switches {
+		sort.Ints(sc.LocalPorts)
+	}
+
+	// Install path match-action entries along each optimizer route. When a
+	// route revisits a switch (waypoint ordering can force that), the last
+	// occurrence wins: following last-occurrence entries always makes
+	// progress toward the route's egress.
+	for pair, r := range routes {
+		for _, li := range r.Links {
+			from := t.Links[li].From
+			sc := cfg.Switches[from]
+			if _, dup := sc.RouteNext[pair]; !dup {
+				sc.Stats.ForwardRules++
+			}
+			sc.RouteNext[pair] = li
+		}
+	}
+	return cfg, nil
+}
+
+// numberNodes assigns dense ids in DFS preorder.
+func numberNodes(d *xfdd.Diagram) (map[*xfdd.Diagram]int, int) {
+	ids := map[*xfdd.Diagram]int{}
+	var walk func(*xfdd.Diagram)
+	walk = func(n *xfdd.Diagram) {
+		if n == nil {
+			return
+		}
+		if _, seen := ids[n]; seen {
+			return
+		}
+		ids[n] = len(ids)
+		if !n.IsLeaf() {
+			walk(n.True)
+			walk(n.False)
+		}
+	}
+	walk(d)
+	return ids, len(ids)
+}
+
+// compileProgram emits this switch's NetASM program: every xFDD node gets
+// an entry pc; remote state tests become suspend stubs.
+func compileProgram(d *xfdd.Diagram, ids map[*xfdd.Diagram]int, owns map[string]bool) (*netasm.Program, SwitchStats, error) {
+	prog := &netasm.Program{EntryOf: map[int]int{}}
+	var stats SwitchStats
+
+	type fixup struct {
+		pc     int
+		branch bool // true/false target vs fork slot
+		isTrue bool
+		slot   int
+		node   int // target node id
+	}
+	var fixups []fixup
+
+	emit := func(ins netasm.Instr) int {
+		prog.Instrs = append(prog.Instrs, ins)
+		return len(prog.Instrs) - 1
+	}
+
+	// Order nodes by id for a deterministic layout.
+	nodes := make([]*xfdd.Diagram, len(ids))
+	for n, id := range ids {
+		nodes[id] = n
+	}
+
+	for id, n := range nodes {
+		entry := len(prog.Instrs)
+		prog.EntryOf[id] = entry
+
+		if n.IsLeaf() {
+			forkPC := emit(netasm.Instr{Op: netasm.OpFork, Seqs: make([]int, len(n.Seqs))})
+			for si, seq := range n.Seqs {
+				seqEntry := len(prog.Instrs)
+				prog.Instrs[forkPC].Seqs[si] = seqEntry
+				dropped := false
+				for _, a := range seq {
+					next := len(prog.Instrs) + 1
+					switch a.Kind {
+					case xfdd.ActModify:
+						emit(netasm.Instr{Op: netasm.OpSetField, Field: a.Field, Val: a.Val, Next: next})
+					case xfdd.ActSet, xfdd.ActIncr, xfdd.ActDecr:
+						if owns[a.Var] {
+							emit(netasm.Instr{Op: netasm.OpStateWrite, Var: a.Var, Idx: a.Idx, ValE: a.SVal, Act: a.Kind, Next: next})
+							stats.StateOps++
+						} else {
+							emit(netasm.Instr{Op: netasm.OpResolve, Var: a.Var, Idx: a.Idx, ValE: a.SVal, Act: a.Kind, Next: next})
+							stats.ResolveOps++
+						}
+					case xfdd.ActDrop:
+						emit(netasm.Instr{Op: netasm.OpDrop})
+						dropped = true
+					}
+					if dropped {
+						break
+					}
+				}
+				if !dropped {
+					emit(netasm.Instr{Op: netasm.OpFinish})
+				}
+			}
+			continue
+		}
+
+		switch t := n.Test.(type) {
+		case xfdd.FVTest:
+			pc := emit(netasm.Instr{Op: netasm.OpBranchFV, Field: t.Field, Val: t.Val})
+			fixups = append(fixups,
+				fixup{pc: pc, branch: true, isTrue: true, node: ids[n.True]},
+				fixup{pc: pc, branch: true, isTrue: false, node: ids[n.False]})
+			stats.Branches++
+		case xfdd.FFTest:
+			pc := emit(netasm.Instr{Op: netasm.OpBranchFF, Field: t.F1, Field2: t.F2})
+			fixups = append(fixups,
+				fixup{pc: pc, branch: true, isTrue: true, node: ids[n.True]},
+				fixup{pc: pc, branch: true, isTrue: false, node: ids[n.False]})
+			stats.Branches++
+		case xfdd.STest:
+			if owns[t.Var] {
+				pc := emit(netasm.Instr{Op: netasm.OpBranchState, Var: t.Var, Idx: t.Idx, ValE: t.Val})
+				fixups = append(fixups,
+					fixup{pc: pc, branch: true, isTrue: true, node: ids[n.True]},
+					fixup{pc: pc, branch: true, isTrue: false, node: ids[n.False]})
+				stats.Branches++
+			} else {
+				emit(netasm.Instr{Op: netasm.OpSuspend, Var: t.Var, Resume: id})
+				stats.SuspendStubs++
+			}
+		default:
+			return nil, stats, fmt.Errorf("rules: unknown test %T", n.Test)
+		}
+	}
+
+	for _, f := range fixups {
+		target, ok := prog.EntryOf[f.node]
+		if !ok {
+			return nil, stats, fmt.Errorf("rules: missing entry for node %d", f.node)
+		}
+		if f.isTrue {
+			prog.Instrs[f.pc].True = target
+		} else {
+			prog.Instrs[f.pc].False = target
+		}
+	}
+	return prog, stats, nil
+}
+
+// allPairsNextHop computes, for every switch, the outgoing link on the
+// shortest path (1/capacity weights) toward every destination switch.
+func allPairsNextHop(t *topo.Topology) [][]int {
+	// Reverse graph Dijkstra per destination.
+	weights := make([]float64, len(t.Links))
+	for i, l := range t.Links {
+		if l.Capacity > 0 {
+			weights[i] = 1 / l.Capacity
+		} else {
+			weights[i] = 1
+		}
+	}
+	revAdj := make([][]int, t.Switches) // incoming links per node
+	for li, l := range t.Links {
+		revAdj[l.To] = append(revAdj[l.To], li)
+	}
+
+	next := make([][]int, t.Switches)
+	for n := range next {
+		next[n] = make([]int, t.Switches)
+		for d := range next[n] {
+			next[n][d] = -1
+		}
+	}
+
+	const inf = 1e30
+	for dst := 0; dst < t.Switches; dst++ {
+		dist := make([]float64, t.Switches)
+		visited := make([]bool, t.Switches)
+		via := make([]int, t.Switches) // link leaving the node toward dst
+		for i := range dist {
+			dist[i] = inf
+			via[i] = -1
+		}
+		dist[dst] = 0
+		for {
+			best, bestD := -1, inf
+			for n := 0; n < t.Switches; n++ {
+				if !visited[n] && dist[n] < bestD {
+					best, bestD = n, dist[n]
+				}
+			}
+			if best < 0 {
+				break
+			}
+			visited[best] = true
+			for _, li := range revAdj[best] {
+				l := t.Links[li]
+				if nd := bestD + weights[li]; nd < dist[l.From] {
+					dist[l.From] = nd
+					via[l.From] = li
+				}
+			}
+		}
+		for n := 0; n < t.Switches; n++ {
+			next[n][dst] = via[n]
+		}
+	}
+	return next
+}

@@ -1,0 +1,288 @@
+// Package semantics implements the denotational semantics of SNAP
+// (Appendix A of the paper): the eval function mapping a policy, a store and
+// a packet to an updated store, a set of output packets and a read/write
+// log. It is the specification against which the compiler's xFDD translation
+// and the distributed data plane are tested for equivalence.
+package semantics
+
+import (
+	"fmt"
+
+	"snap/internal/pkt"
+	"snap/internal/state"
+	"snap/internal/syntax"
+	"snap/internal/values"
+)
+
+// Result is the outcome of evaluating a policy on one packet.
+type Result struct {
+	Store   *state.Store
+	Packets []pkt.Packet
+	Log     state.Log
+}
+
+// ConflictError reports an undefined composition (⊥ in the formal
+// semantics): a read/write or write/write conflict between parallel branches
+// or between the multicast copies of a sequential composition.
+type ConflictError struct {
+	Op   string
+	Vars []string
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("inconsistent state access in %s composition: conflicting variables %v", e.Op, e.Vars)
+}
+
+// EvalExpr implements evale: expressions evaluate on a packet to a tuple of
+// values (scalars are 1-tuples).
+func EvalExpr(e syntax.Expr, p pkt.Packet) values.Tuple {
+	switch x := e.(type) {
+	case syntax.Const:
+		return values.Tuple{x.Val}
+	case syntax.FieldRef:
+		return values.Tuple{p.Field(x.Field)}
+	case syntax.TupleExpr:
+		out := make(values.Tuple, 0, len(x.Elems))
+		for _, el := range x.Elems {
+			out = append(out, EvalExpr(el, p)...)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// EvalScalar evaluates an expression expected to produce a single value
+// (the right-hand side of a state test or update).
+func EvalScalar(e syntax.Expr, p pkt.Packet) (values.Value, error) {
+	t := EvalExpr(e, p)
+	if len(t) != 1 {
+		return values.None, fmt.Errorf("expression %s evaluates to a %d-vector where a scalar is required", e, len(t))
+	}
+	return t[0], nil
+}
+
+// Eval runs policy p on packet in with the given store, per the formal
+// semantics. The returned store is freshly derived; the input store is not
+// modified. Output packets form a set (duplicates are collapsed).
+func Eval(p syntax.Policy, st *state.Store, in pkt.Packet) (Result, error) {
+	return eval(p, st, in)
+}
+
+func eval(p syntax.Policy, st *state.Store, in pkt.Packet) (Result, error) {
+	switch n := p.(type) {
+	case syntax.Identity:
+		return Result{Store: st.Clone(), Packets: []pkt.Packet{in}, Log: state.NewLog()}, nil
+
+	case syntax.Drop:
+		return Result{Store: st.Clone(), Packets: nil, Log: state.NewLog()}, nil
+
+	case syntax.Test:
+		out := Result{Store: st.Clone(), Log: state.NewLog()}
+		if n.Val.Matches(in.Field(n.Field)) {
+			out.Packets = []pkt.Packet{in}
+		}
+		return out, nil
+
+	case syntax.StateTest:
+		out := Result{Store: st.Clone(), Log: state.NewLog()}
+		out.Log.Read(n.Var)
+		want, err := EvalScalar(n.Val, in)
+		if err != nil {
+			return Result{}, err
+		}
+		if values.Eq(st.Get(n.Var, EvalExpr(n.Idx, in)), want) {
+			out.Packets = []pkt.Packet{in}
+		}
+		return out, nil
+
+	case syntax.Not:
+		inner, err := eval(n.X, st, in)
+		if err != nil {
+			return Result{}, err
+		}
+		out := Result{Store: st.Clone(), Log: inner.Log}
+		if len(inner.Packets) == 0 {
+			out.Packets = []pkt.Packet{in}
+		}
+		return out, nil
+
+	case syntax.Or:
+		rx, err := eval(n.X, st, in)
+		if err != nil {
+			return Result{}, err
+		}
+		ry, err := eval(n.Y, st, in)
+		if err != nil {
+			return Result{}, err
+		}
+		rx.Log.Union(ry.Log)
+		out := Result{Store: st.Clone(), Log: rx.Log}
+		if len(rx.Packets) > 0 || len(ry.Packets) > 0 {
+			out.Packets = []pkt.Packet{in}
+		}
+		return out, nil
+
+	case syntax.And:
+		rx, err := eval(n.X, st, in)
+		if err != nil {
+			return Result{}, err
+		}
+		ry, err := eval(n.Y, st, in)
+		if err != nil {
+			return Result{}, err
+		}
+		rx.Log.Union(ry.Log)
+		out := Result{Store: st.Clone(), Log: rx.Log}
+		if len(rx.Packets) > 0 && len(ry.Packets) > 0 {
+			out.Packets = []pkt.Packet{in}
+		}
+		return out, nil
+
+	case syntax.Modify:
+		return Result{
+			Store:   st.Clone(),
+			Packets: []pkt.Packet{in.With(n.Field, n.Val)},
+			Log:     state.NewLog(),
+		}, nil
+
+	case syntax.SetState:
+		v, err := EvalScalar(n.Val, in)
+		if err != nil {
+			return Result{}, err
+		}
+		m := st.Clone()
+		m.Set(n.Var, EvalExpr(n.Idx, in), v)
+		out := Result{Store: m, Packets: []pkt.Packet{in}, Log: state.NewLog()}
+		out.Log.Write(n.Var)
+		return out, nil
+
+	case syntax.Incr:
+		m := st.Clone()
+		m.Add(n.Var, EvalExpr(n.Idx, in), 1)
+		out := Result{Store: m, Packets: []pkt.Packet{in}, Log: state.NewLog()}
+		out.Log.Write(n.Var)
+		return out, nil
+
+	case syntax.Decr:
+		m := st.Clone()
+		m.Add(n.Var, EvalExpr(n.Idx, in), -1)
+		out := Result{Store: m, Packets: []pkt.Packet{in}, Log: state.NewLog()}
+		out.Log.Write(n.Var)
+		return out, nil
+
+	case syntax.If:
+		cond, err := eval(n.Cond, st, in)
+		if err != nil {
+			return Result{}, err
+		}
+		var branch Result
+		if len(cond.Packets) > 0 {
+			branch, err = eval(n.Then, cond.Store, in)
+		} else {
+			branch, err = eval(n.Else, cond.Store, in)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		branch.Log.Union(cond.Log)
+		return branch, nil
+
+	case syntax.Parallel:
+		r1, err := eval(n.P, st, in)
+		if err != nil {
+			return Result{}, err
+		}
+		r2, err := eval(n.Q, st, in)
+		if err != nil {
+			return Result{}, err
+		}
+		if !state.Consistent(r1.Log, r2.Log) {
+			return Result{}, &ConflictError{Op: "parallel", Vars: state.ConflictVars(r1.Log, r2.Log)}
+		}
+		merged := mergeStores(st, []*state.Store{r1.Store, r2.Store})
+		r1.Log.Union(r2.Log)
+		return Result{
+			Store:   merged,
+			Packets: unionPackets(r1.Packets, r2.Packets),
+			Log:     r1.Log,
+		}, nil
+
+	case syntax.Seq:
+		r1, err := eval(n.P, st, in)
+		if err != nil {
+			return Result{}, err
+		}
+		var (
+			stores  []*state.Store
+			logs    []state.Log
+			packets []pkt.Packet
+		)
+		for _, mid := range r1.Packets {
+			r2, err := eval(n.Q, r1.Store, mid)
+			if err != nil {
+				return Result{}, err
+			}
+			stores = append(stores, r2.Store)
+			logs = append(logs, r2.Log)
+			packets = unionPackets(packets, r2.Packets)
+		}
+		for i := range logs {
+			for j := i + 1; j < len(logs); j++ {
+				if !state.Consistent(logs[i], logs[j]) {
+					return Result{}, &ConflictError{Op: "sequential", Vars: state.ConflictVars(logs[i], logs[j])}
+				}
+			}
+		}
+		merged := mergeStores(r1.Store, stores)
+		log := r1.Log
+		for _, l := range logs {
+			log.Union(l)
+		}
+		return Result{Store: merged, Packets: packets, Log: log}, nil
+
+	case syntax.Atomic:
+		return eval(n.P, st, in)
+
+	default:
+		return Result{}, fmt.Errorf("eval: unknown policy node %T", p)
+	}
+}
+
+// mergeStores implements merge(m, m1, ..., mk): for each variable, take its
+// contents from the first store in which it differs from the base, otherwise
+// keep the base contents. The callers' consistency checks guarantee at most
+// one store changed any given variable.
+func mergeStores(base *state.Store, stores []*state.Store) *state.Store {
+	out := base.Clone()
+	seen := map[string]bool{}
+	for _, m := range stores {
+		for _, s := range m.Vars() {
+			if seen[s] {
+				continue
+			}
+			if !base.VarEqual(m, s) {
+				out.CopyVar(m, s)
+				seen[s] = true
+			}
+		}
+	}
+	return out
+}
+
+// unionPackets forms the set union of two packet lists.
+func unionPackets(a, b []pkt.Packet) []pkt.Packet {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[string]bool, len(a)+len(b))
+	out := make([]pkt.Packet, 0, len(a)+len(b))
+	for _, p := range append(append([]pkt.Packet{}, a...), b...) {
+		k := p.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package semantics_test
+
+import (
+	"errors"
+	"testing"
+
+	"snap/internal/pkt"
+	"snap/internal/semantics"
+	"snap/internal/state"
+	"snap/internal/syntax"
+	"snap/internal/values"
+)
+
+var basePkt = pkt.New(map[pkt.Field]values.Value{
+	pkt.Inport:  values.Int(1),
+	pkt.SrcIP:   values.IPv4(10, 0, 1, 1),
+	pkt.DstIP:   values.IPv4(10, 0, 6, 6),
+	pkt.SrcPort: values.Int(53),
+	pkt.DstPort: values.Int(80),
+})
+
+func eval(t *testing.T, p syntax.Policy, st *state.Store, in pkt.Packet) semantics.Result {
+	t.Helper()
+	r, err := semantics.Eval(p, st, in)
+	if err != nil {
+		t.Fatalf("eval %s: %v", p, err)
+	}
+	return r
+}
+
+func TestIdentityAndDrop(t *testing.T) {
+	st := state.NewStore()
+	r := eval(t, syntax.Id(), st, basePkt)
+	if len(r.Packets) != 1 || !r.Packets[0].Equal(basePkt) {
+		t.Fatalf("id: %v", r.Packets)
+	}
+	r = eval(t, syntax.Nothing(), st, basePkt)
+	if len(r.Packets) != 0 {
+		t.Fatalf("drop: %v", r.Packets)
+	}
+}
+
+func TestFieldTest(t *testing.T) {
+	st := state.NewStore()
+	pass := eval(t, syntax.FieldEq(pkt.SrcPort, values.Int(53)), st, basePkt)
+	if len(pass.Packets) != 1 {
+		t.Fatal("test should pass")
+	}
+	fail := eval(t, syntax.FieldEq(pkt.SrcPort, values.Int(80)), st, basePkt)
+	if len(fail.Packets) != 0 {
+		t.Fatal("test should fail")
+	}
+	// Prefix membership.
+	prefix := eval(t, syntax.FieldEq(pkt.DstIP, values.Prefix(10<<24|6<<8, 24)), st, basePkt)
+	if len(prefix.Packets) != 1 {
+		t.Fatal("prefix test should pass")
+	}
+}
+
+func TestStateTestDefaultsAndLogs(t *testing.T) {
+	st := state.NewStore()
+	// Absent entries read as False.
+	p := syntax.TestState("s", syntax.F(pkt.SrcIP), syntax.V(values.Bool(false)))
+	r := eval(t, p, st, basePkt)
+	if len(r.Packets) != 1 {
+		t.Fatal("absent entry must compare equal to False")
+	}
+	if !r.Log.Reads["s"] || len(r.Log.Writes) != 0 {
+		t.Fatalf("state test must log R s only: %+v", r.Log)
+	}
+	// And to Int(0) via coercion.
+	p0 := syntax.TestState("s", syntax.F(pkt.SrcIP), syntax.V(values.Int(0)))
+	if r := eval(t, p0, st, basePkt); len(r.Packets) != 1 {
+		t.Fatal("absent entry must compare equal to 0")
+	}
+}
+
+func TestModification(t *testing.T) {
+	st := state.NewStore()
+	r := eval(t, syntax.Assign(pkt.Outport, values.Int(6)), st, basePkt)
+	if got := r.Packets[0].Field(pkt.Outport); !values.Eq(got, values.Int(6)) {
+		t.Fatalf("outport = %v", got)
+	}
+	// The input packet is untouched (value semantics).
+	if !basePkt.Field(pkt.Outport).IsNone() {
+		t.Fatal("input packet mutated")
+	}
+}
+
+func TestStateUpdateAndCounters(t *testing.T) {
+	st := state.NewStore()
+	w := syntax.WriteState("s", syntax.F(pkt.SrcIP), syntax.F(pkt.DstIP))
+	r := eval(t, w, st, basePkt)
+	idx := values.Tuple{basePkt.Field(pkt.SrcIP)}
+	if got := r.Store.Get("s", idx); !values.Eq(got, basePkt.Field(pkt.DstIP)) {
+		t.Fatalf("stored %v", got)
+	}
+	if !r.Log.Writes["s"] {
+		t.Fatalf("state write must log W s: %+v", r.Log)
+	}
+	// The input store is untouched.
+	if got := st.Get("s", idx); !values.Eq(got, state.Default) {
+		t.Fatal("input store mutated")
+	}
+
+	// Increment coerces the False default to 0.
+	incr := syntax.IncrState("c", syntax.F(pkt.Inport))
+	r = eval(t, incr, r.Store, basePkt)
+	r = eval(t, incr, r.Store, basePkt)
+	if got := r.Store.Get("c", values.Tuple{values.Int(1)}); !values.Eq(got, values.Int(2)) {
+		t.Fatalf("counter = %v, want 2", got)
+	}
+	decr := syntax.DecrState("c", syntax.F(pkt.Inport))
+	r = eval(t, decr, r.Store, basePkt)
+	if got := r.Store.Get("c", values.Tuple{values.Int(1)}); !values.Eq(got, values.Int(1)) {
+		t.Fatalf("counter = %v, want 1", got)
+	}
+}
+
+func TestNegationPropagatesReads(t *testing.T) {
+	st := state.NewStore()
+	p := syntax.Neg(syntax.TestState("s", syntax.V(values.Int(0)), syntax.V(values.Bool(true))))
+	r := eval(t, p, st, basePkt)
+	if len(r.Packets) != 1 {
+		t.Fatal("negated false test must pass")
+	}
+	if !r.Log.Reads["s"] {
+		t.Fatal("negation must propagate the read log")
+	}
+}
+
+func TestDisjunctionConjunction(t *testing.T) {
+	st := state.NewStore()
+	yes := syntax.FieldEq(pkt.SrcPort, values.Int(53))
+	no := syntax.FieldEq(pkt.SrcPort, values.Int(99))
+	sYes := syntax.TestState("a", syntax.V(values.Int(0)), syntax.V(values.Bool(false)))
+
+	if r := eval(t, syntax.Disj(no, yes), st, basePkt); len(r.Packets) != 1 {
+		t.Fatal("or")
+	}
+	if r := eval(t, syntax.Conj(yes, no), st, basePkt); len(r.Packets) != 0 {
+		t.Fatal("and")
+	}
+	// Both operands' reads are logged even when the outcome is decided.
+	r := eval(t, syntax.Disj(sYes, syntax.Neg(sYes)), st, basePkt)
+	if !r.Log.Reads["a"] {
+		t.Fatal("disjunction must log reads of both sides")
+	}
+}
+
+func TestConditionalLogsCondition(t *testing.T) {
+	st := state.NewStore()
+	p := syntax.Cond(
+		syntax.TestState("flag", syntax.V(values.Int(0)), syntax.V(values.Bool(true))),
+		syntax.WriteState("a", syntax.V(values.Int(0)), syntax.V(values.Int(1))),
+		syntax.WriteState("b", syntax.V(values.Int(0)), syntax.V(values.Int(2))),
+	)
+	r := eval(t, p, st, basePkt)
+	if !r.Log.Reads["flag"] || !r.Log.Writes["b"] || r.Log.Writes["a"] {
+		t.Fatalf("else-branch logs: %+v", r.Log)
+	}
+	if got := r.Store.Get("b", values.Tuple{values.Int(0)}); !values.Eq(got, values.Int(2)) {
+		t.Fatalf("b = %v", got)
+	}
+}
+
+func TestParallelMulticastAndMerge(t *testing.T) {
+	st := state.NewStore()
+	p := syntax.Par(
+		syntax.Assign(pkt.Outport, values.Int(1)),
+		syntax.Assign(pkt.Outport, values.Int(2)),
+	)
+	r := eval(t, p, st, basePkt)
+	if len(r.Packets) != 2 {
+		t.Fatalf("multicast: %v", r.Packets)
+	}
+
+	// Disjoint state writes merge.
+	q := syntax.Par(
+		syntax.WriteState("a", syntax.V(values.Int(0)), syntax.V(values.Int(1))),
+		syntax.WriteState("b", syntax.V(values.Int(0)), syntax.V(values.Int(2))),
+	)
+	r = eval(t, q, st, basePkt)
+	if got := r.Store.Get("a", values.Tuple{values.Int(0)}); !values.Eq(got, values.Int(1)) {
+		t.Fatalf("a = %v", got)
+	}
+	if got := r.Store.Get("b", values.Tuple{values.Int(0)}); !values.Eq(got, values.Int(2)) {
+		t.Fatalf("b = %v", got)
+	}
+	// Identical packets from both sides collapse (set semantics).
+	id2 := syntax.Par(syntax.Id(), syntax.Id())
+	if r := eval(t, id2, st, basePkt); len(r.Packets) != 1 {
+		t.Fatalf("set semantics: %v", r.Packets)
+	}
+}
+
+func TestParallelConflicts(t *testing.T) {
+	st := state.NewStore()
+	ww := syntax.Par(
+		syntax.WriteState("s", syntax.V(values.Int(0)), syntax.V(values.Int(1))),
+		syntax.WriteState("s", syntax.V(values.Int(0)), syntax.V(values.Int(2))),
+	)
+	if _, err := semantics.Eval(ww, st, basePkt); err == nil {
+		t.Fatal("write/write conflict must be rejected")
+	}
+	rw := syntax.Par(
+		syntax.TestState("s", syntax.V(values.Int(0)), syntax.V(values.Bool(true))),
+		syntax.WriteState("s", syntax.V(values.Int(0)), syntax.V(values.Int(2))),
+	)
+	if _, err := semantics.Eval(rw, st, basePkt); err == nil {
+		t.Fatal("read/write conflict must be rejected")
+	}
+	var ce *semantics.ConflictError
+	_, err := semantics.Eval(rw, st, basePkt)
+	if !errors.As(err, &ce) || len(ce.Vars) != 1 || ce.Vars[0] != "s" {
+		t.Fatalf("conflict error detail: %v", err)
+	}
+}
+
+// TestSequentialMulticastConflict reproduces the §3 example: p = (f←1 +
+// f←2); q = s[0]←f fails because the two copies write s[0] differently,
+// while q = g←3 is fine.
+func TestSequentialMulticastConflict(t *testing.T) {
+	st := state.NewStore()
+	multicast := syntax.Par(
+		syntax.Assign(pkt.SrcPort, values.Int(1)),
+		syntax.Assign(pkt.SrcPort, values.Int(2)),
+	)
+	bad := syntax.Then(multicast, syntax.WriteState("s", syntax.V(values.Int(0)), syntax.F(pkt.SrcPort)))
+	if _, err := semantics.Eval(bad, st, basePkt); err == nil {
+		t.Fatal("multicast state write must be rejected")
+	}
+	good := syntax.Then(multicast, syntax.Assign(pkt.DstPort, values.Int(3)))
+	r := eval(t, good, st, basePkt)
+	if len(r.Packets) != 2 {
+		t.Fatalf("expected two packets, got %v", r.Packets)
+	}
+}
+
+// TestSequentialThreading checks q sees p's state changes.
+func TestSequentialThreading(t *testing.T) {
+	st := state.NewStore()
+	p := syntax.Then(
+		syntax.WriteState("s", syntax.V(values.Int(0)), syntax.V(values.Bool(true))),
+		syntax.TestState("s", syntax.V(values.Int(0)), syntax.V(values.Bool(true))),
+	)
+	if r := eval(t, p, st, basePkt); len(r.Packets) != 1 {
+		t.Fatal("write-then-test must pass")
+	}
+	// Counter then threshold test in sequence (the Figure 1 pattern).
+	q := syntax.Then(
+		syntax.IncrState("c", syntax.V(values.Int(0))),
+		syntax.TestState("c", syntax.V(values.Int(0)), syntax.V(values.Int(1))),
+	)
+	if r := eval(t, q, st, basePkt); len(r.Packets) != 1 {
+		t.Fatal("increment-then-test must see the incremented value")
+	}
+}
+
+// TestDropThenStateWrite: a dropped packet stops the pipeline; writes after
+// the drop never run, writes before do.
+func TestDropThenStateWrite(t *testing.T) {
+	st := state.NewStore()
+	p := syntax.Then(
+		syntax.WriteState("before", syntax.V(values.Int(0)), syntax.V(values.Int(1))),
+		syntax.Nothing(),
+		syntax.WriteState("after", syntax.V(values.Int(0)), syntax.V(values.Int(1))),
+	)
+	r := eval(t, p, st, basePkt)
+	if len(r.Packets) != 0 {
+		t.Fatal("packet must drop")
+	}
+	if got := r.Store.Get("before", values.Tuple{values.Int(0)}); !values.Eq(got, values.Int(1)) {
+		t.Fatal("write before drop must persist")
+	}
+	if got := r.Store.Get("after", values.Tuple{values.Int(0)}); !values.Eq(got, state.Default) {
+		t.Fatal("write after drop must not run")
+	}
+}
+
+func TestEvalExprVectors(t *testing.T) {
+	e := syntax.Vec(syntax.F(pkt.SrcIP), syntax.F(pkt.DstIP))
+	tup := semantics.EvalExpr(e, basePkt)
+	if len(tup) != 2 || !values.Eq(tup[0], basePkt.Field(pkt.SrcIP)) {
+		t.Fatalf("vector eval: %v", tup)
+	}
+	if _, err := semantics.EvalScalar(e, basePkt); err == nil {
+		t.Fatal("vector in scalar position must error")
+	}
+}
+
+func TestAtomicTransparent(t *testing.T) {
+	st := state.NewStore()
+	p := syntax.Transaction(syntax.Then(
+		syntax.WriteState("a", syntax.F(pkt.Inport), syntax.F(pkt.SrcIP)),
+		syntax.WriteState("b", syntax.F(pkt.Inport), syntax.F(pkt.DstPort)),
+	))
+	r := eval(t, p, st, basePkt)
+	if len(r.Packets) != 1 {
+		t.Fatal("atomic passes the packet")
+	}
+	if got := r.Store.Get("a", values.Tuple{values.Int(1)}); !values.Eq(got, basePkt.Field(pkt.SrcIP)) {
+		t.Fatalf("a = %v", got)
+	}
+}

@@ -1,0 +1,215 @@
+package shard_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snap/internal/apps"
+	"snap/internal/pkt"
+	"snap/internal/place"
+	"snap/internal/psmap"
+	"snap/internal/semantics"
+	"snap/internal/shard"
+	"snap/internal/state"
+	"snap/internal/syntax"
+	"snap/internal/topo"
+	"snap/internal/traffic"
+	"snap/internal/values"
+	"snap/internal/xfdd"
+)
+
+// reconstruct maps a sharded store back to the original variable: the
+// shards partition the original entries by the dispatch field.
+func reconstruct(st *state.Store, plan shard.Plan, orig string) *state.Store {
+	out := state.NewStore()
+	for _, name := range plan.Names() {
+		for _, e := range st.Entries(name) {
+			out.Set(orig, e.Idx, e.Val)
+		}
+	}
+	return out
+}
+
+// TestShardEquivalence: the sharded program is observationally equivalent
+// to the original under eval, with the shard union reconstructing the
+// original variable.
+func TestShardEquivalence(t *testing.T) {
+	// A program mixing reads and writes of the sharded variable:
+	// per-ingress counting with a threshold flag on a separate variable.
+	src := syntax.Then(
+		syntax.IncrState("count", syntax.F(pkt.Inport)),
+		syntax.Cond(
+			syntax.TestState("count", syntax.F(pkt.Inport), syntax.V(values.Int(2))),
+			syntax.WriteState("hot", syntax.F(pkt.Inport), syntax.V(values.Bool(true))),
+			syntax.Id(),
+		),
+	)
+	plan := shard.PortsPlan("count", []int{1, 2, 3})
+	sharded, err := shard.Apply(src, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	origStore := state.NewStore()
+	shardStore := state.NewStore()
+	for i := 0; i < 300; i++ {
+		// Inport 1..4: port 4 exercises the catch-all shard.
+		in := pkt.New(map[pkt.Field]values.Value{
+			pkt.Inport:  values.Int(int64(1 + rng.Intn(4))),
+			pkt.SrcPort: values.Int(int64(rng.Intn(3))),
+		})
+		ro, err := semantics.Eval(src, origStore, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := semantics.Eval(sharded, shardStore, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ro.Packets) != len(rs.Packets) {
+			t.Fatalf("packet %d: output sizes differ", i)
+		}
+		origStore, shardStore = ro.Store, rs.Store
+
+		rec := reconstruct(shardStore, plan, "count")
+		if !rec.VarEqual(origStore, "count") {
+			t.Fatalf("packet %d: reconstruction differs\nshards:\n%s\noriginal:\n%s", i, shardStore, origStore)
+		}
+		if !shardStore.VarEqual(origStore, "hot") {
+			t.Fatalf("packet %d: unsharded variable diverged", i)
+		}
+	}
+}
+
+// TestShardedXFDDEquivalence pushes the sharded program through the full
+// xFDD translation and compares against the original's semantics.
+func TestShardedXFDDEquivalence(t *testing.T) {
+	src := syntax.IncrState("count", syntax.F(pkt.Inport))
+	plan := shard.PortsPlan("count", []int{1, 2})
+	sharded, err := shard.Apply(src, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := xfdd.Translate(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	origStore := state.NewStore()
+	fddStore := state.NewStore()
+	for i := 0; i < 200; i++ {
+		in := pkt.New(map[pkt.Field]values.Value{
+			pkt.Inport: values.Int(int64(1 + rng.Intn(3))),
+		})
+		ro, err := semantics.Eval(src, origStore, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		origStore = ro.Store
+		_, fddStore, err = d.Eval(fddStore, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := reconstruct(fddStore, plan, "count")
+		if !rec.VarEqual(origStore, "count") {
+			t.Fatalf("packet %d: xFDD shard reconstruction differs", i)
+		}
+	}
+}
+
+// TestShardNarrowsMapping: shard i is needed only by flows entering at
+// port i — the property that lets the optimizer spread the shards.
+func TestShardNarrowsMapping(t *testing.T) {
+	ports := []int{1, 2, 3, 4, 5, 6}
+	plan := shard.PortsPlan("count", ports)
+	sharded, err := shard.Apply(apps.Monitor(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := syntax.Then(sharded, apps.AssignEgress(6))
+	d, _, err := xfdd.Translate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := psmap.Build(d, ports)
+	for _, u := range ports {
+		for _, v := range ports {
+			if u == v {
+				continue
+			}
+			set := m.Vars[[2]int{u, v}]
+			want := plan.ShardName(values.Int(int64(u)))
+			if !set[want] {
+				t.Errorf("S(%d,%d) missing its own shard %s: %v", u, v, want, set)
+			}
+			for _, other := range ports {
+				if other == u {
+					continue
+				}
+				if set[plan.ShardName(values.Int(int64(other)))] {
+					t.Errorf("S(%d,%d) needs foreign shard of port %d", u, v, other)
+				}
+			}
+		}
+	}
+}
+
+// TestShardingImprovesPlacement compiles the monitor on the campus with
+// and without sharding: the shards spread over several switches and
+// congestion does not increase (Appendix C's motivation).
+func TestShardingImprovesPlacement(t *testing.T) {
+	net := topo.Campus(1000)
+	tm := traffic.Gravity(net, 100, 1)
+	compileCongestion := func(p syntax.Policy) (float64, map[string]topo.NodeID) {
+		d, order, err := xfdd.Translate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := place.Inputs{Topo: net, Demands: tm, Mapping: psmap.Build(d, net.PortIDs()), Order: order}
+		res, err := place.Solve(in, place.Options{Method: place.Heuristic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Congestion, res.Placement
+	}
+
+	mono := syntax.Then(apps.Monitor(), apps.AssignEgress(6))
+	plan := shard.PortsPlan("count", net.PortIDs())
+	shardedMonitor, err := shard.Apply(apps.Monitor(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := syntax.Then(shardedMonitor, apps.AssignEgress(6))
+
+	c1, _ := compileCongestion(mono)
+	c2, placement := compileCongestion(sharded)
+	if c2 > c1+1e-9 {
+		t.Errorf("sharding increased congestion: %.4f -> %.4f", c1, c2)
+	}
+	// The shards spread: they do not all sit on one switch.
+	locs := map[topo.NodeID]bool{}
+	for _, name := range plan.Names() {
+		if n, ok := placement[name]; ok {
+			locs[n] = true
+		}
+	}
+	if len(locs) < 2 {
+		t.Errorf("shards did not spread: %v", placement)
+	}
+}
+
+// TestShardRejectsAtomic: sharding a variable used inside a transaction is
+// rejected (it would break the co-location guarantee).
+func TestShardRejectsAtomic(t *testing.T) {
+	p := syntax.Transaction(syntax.IncrState("count", syntax.F(pkt.Inport)))
+	if _, err := shard.Apply(p, shard.PortsPlan("count", []int{1})); err == nil {
+		t.Fatal("sharding inside atomic must be rejected")
+	}
+	// Transactions over other variables are fine.
+	q := syntax.Transaction(syntax.IncrState("other", syntax.F(pkt.Inport)))
+	if _, err := shard.Apply(q, shard.PortsPlan("count", []int{1})); err != nil {
+		t.Fatalf("unrelated transaction rejected: %v", err)
+	}
+}

@@ -1,0 +1,195 @@
+package state
+
+import (
+	"testing"
+	"testing/quick"
+
+	"snap/internal/values"
+)
+
+func idx(vs ...values.Value) values.Tuple { return values.Tuple(vs) }
+
+func TestGetDefaults(t *testing.T) {
+	st := NewStore()
+	if got := st.Get("s", idx(values.Int(1))); !values.Eq(got, Default) {
+		t.Fatalf("default read: %v", got)
+	}
+	var nilStore *Store
+	if got := nilStore.Get("s", idx(values.Int(1))); !values.Eq(got, Default) {
+		t.Fatalf("nil store read: %v", got)
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	st := NewStore()
+	st.Set("s", idx(values.IPv4(1, 1, 1, 1), values.Int(2)), values.Bool(true))
+	if got := st.Get("s", idx(values.IPv4(1, 1, 1, 1), values.Int(2))); !got.True() {
+		t.Fatalf("read back: %v", got)
+	}
+	// Different index reads default.
+	if got := st.Get("s", idx(values.IPv4(1, 1, 1, 2), values.Int(2))); got.True() {
+		t.Fatalf("wrong entry: %v", got)
+	}
+	// Different variable too.
+	if got := st.Get("t", idx(values.IPv4(1, 1, 1, 1), values.Int(2))); got.True() {
+		t.Fatal("variables must be independent")
+	}
+}
+
+func TestAddCoercion(t *testing.T) {
+	st := NewStore()
+	st.Add("c", idx(values.Int(0)), 1) // absent (False) + 1
+	if got := st.Get("c", idx(values.Int(0))); !values.Eq(got, values.Int(1)) {
+		t.Fatalf("after ++: %v", got)
+	}
+	st.Add("c", idx(values.Int(0)), -1)
+	st.Add("c", idx(values.Int(0)), -1)
+	if got := st.Get("c", idx(values.Int(0))); !values.Eq(got, values.Int(-1)) {
+		t.Fatalf("after --: %v", got)
+	}
+	// Adding to a string coerces to 0 first.
+	st.Set("c", idx(values.Int(1)), values.String("x"))
+	st.Add("c", idx(values.Int(1)), 5)
+	if got := st.Get("c", idx(values.Int(1))); !values.Eq(got, values.Int(5)) {
+		t.Fatalf("string coercion: %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	st := NewStore()
+	st.Set("s", idx(values.Int(0)), values.Int(1))
+	c := st.Clone()
+	c.Set("s", idx(values.Int(0)), values.Int(2))
+	c.Set("t", idx(values.Int(0)), values.Int(3))
+	if got := st.Get("s", idx(values.Int(0))); !values.Eq(got, values.Int(1)) {
+		t.Fatal("clone mutated the original")
+	}
+	if got := st.Get("t", idx(values.Int(0))); !values.Eq(got, Default) {
+		t.Fatal("clone added variables to the original")
+	}
+}
+
+// TestVarEqualTreatsDefaultAsAbsent: writing the default value is
+// indistinguishable from never writing.
+func TestVarEqualTreatsDefaultAsAbsent(t *testing.T) {
+	a := NewStore()
+	b := NewStore()
+	a.Set("s", idx(values.Int(0)), values.Bool(false))
+	if !a.VarEqual(b, "s") || !b.VarEqual(a, "s") {
+		t.Fatal("explicit default must equal absent")
+	}
+	a.Set("s", idx(values.Int(0)), values.Int(0))
+	if !a.VarEqual(b, "s") {
+		t.Fatal("Int(0) coerces to the False default")
+	}
+	a.Set("s", idx(values.Int(0)), values.Int(7))
+	if a.VarEqual(b, "s") {
+		t.Fatal("distinct values must differ")
+	}
+}
+
+func TestEqualAcrossVariables(t *testing.T) {
+	a := NewStore()
+	b := NewStore()
+	a.Set("x", idx(values.Int(1)), values.Int(5))
+	if a.Equal(b) {
+		t.Fatal("stores differ")
+	}
+	b.Set("x", idx(values.Int(1)), values.Int(5))
+	if !a.Equal(b) {
+		t.Fatal("stores equal")
+	}
+	// Variable present only as defaults on one side.
+	b.Set("y", idx(values.Int(0)), values.Bool(false))
+	if !a.Equal(b) {
+		t.Fatal("default-only variable must not break equality")
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	st := NewStore()
+	st.Set("s", idx(values.Int(3)), values.Int(1))
+	st.Set("s", idx(values.Int(1)), values.Int(2))
+	st.Set("s", idx(values.Int(2)), values.Int(3))
+	es := st.Entries("s")
+	if len(es) != 3 {
+		t.Fatalf("entries: %v", es)
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Idx.Key() > es[i].Idx.Key() {
+			t.Fatal("entries must be sorted by index key")
+		}
+	}
+}
+
+func TestCopyVar(t *testing.T) {
+	src := NewStore()
+	src.Set("s", idx(values.Int(0)), values.Int(9))
+	dst := NewStore()
+	dst.Set("s", idx(values.Int(1)), values.Int(1))
+	dst.CopyVar(src, "s")
+	if got := dst.Get("s", idx(values.Int(1))); !values.Eq(got, Default) {
+		t.Fatal("CopyVar must overwrite the whole variable")
+	}
+	if got := dst.Get("s", idx(values.Int(0))); !values.Eq(got, values.Int(9)) {
+		t.Fatal("CopyVar lost the source binding")
+	}
+	// Copying an absent variable clears it.
+	dst.CopyVar(NewStore(), "s")
+	if got := dst.Get("s", idx(values.Int(0))); !values.Eq(got, Default) {
+		t.Fatal("CopyVar of an absent variable must clear")
+	}
+}
+
+func TestLogConsistency(t *testing.T) {
+	l1, l2 := NewLog(), NewLog()
+	l1.Read("a")
+	l2.Read("a")
+	if !Consistent(l1, l2) {
+		t.Fatal("read/read is consistent")
+	}
+	l2.Write("a")
+	if Consistent(l1, l2) || Consistent(l2, l1) {
+		t.Fatal("read/write conflicts both ways")
+	}
+	l3, l4 := NewLog(), NewLog()
+	l3.Write("b")
+	l4.Write("b")
+	if Consistent(l3, l4) {
+		t.Fatal("write/write conflicts")
+	}
+	if vs := ConflictVars(l3, l4); len(vs) != 1 || vs[0] != "b" {
+		t.Fatalf("conflict vars: %v", vs)
+	}
+}
+
+// TestStoreSetGetProperty: reading any written index returns the written
+// value; unrelated indices are untouched.
+func TestStoreSetGetProperty(t *testing.T) {
+	f := func(i1, i2 int8, v int16) bool {
+		st := NewStore()
+		st.Set("s", idx(values.Int(int64(i1))), values.Int(int64(v)))
+		got := st.Get("s", idx(values.Int(int64(i1))))
+		if !values.Eq(got, values.Int(int64(v))) {
+			return false
+		}
+		if i1 != i2 {
+			other := st.Get("s", idx(values.Int(int64(i2))))
+			// Int(0) written to i1 is irrelevant to i2 — i2 is always default.
+			return values.Eq(other, Default)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	st := NewStore()
+	st.Set("b", idx(values.Int(1)), values.Int(2))
+	st.Set("a", idx(values.Int(2)), values.Int(1))
+	if st.String() != st.Clone().String() {
+		t.Fatal("rendering must be deterministic")
+	}
+}

@@ -1,0 +1,316 @@
+// Package syntax defines the abstract syntax of SNAP (Figure 4 of the
+// paper): expressions, predicates and policies, with the NetCore-style
+// composition operators plus the stateful extensions (state tests, state
+// modification, increment/decrement, conditionals and atomic blocks).
+//
+// Constructors return interface values so programs compose naturally:
+//
+//	Seq(If(Test(pkt.DstIP, prefix), SetState("seen", idx, val), Id()), fwd)
+package syntax
+
+import (
+	"fmt"
+	"strings"
+
+	"snap/internal/pkt"
+	"snap/internal/values"
+)
+
+// Expr is a SNAP expression e ::= v | f | ⇀e — a constant value, a packet
+// field reference, or a vector of expressions.
+type Expr interface {
+	isExpr()
+	fmt.Stringer
+}
+
+// Const is a literal value expression.
+type Const struct{ Val values.Value }
+
+// FieldRef evaluates to the value of a packet field.
+type FieldRef struct{ Field pkt.Field }
+
+// TupleExpr is a vector of expressions ⇀e.
+type TupleExpr struct{ Elems []Expr }
+
+func (Const) isExpr()     {}
+func (FieldRef) isExpr()  {}
+func (TupleExpr) isExpr() {}
+
+func (e Const) String() string    { return e.Val.String() }
+func (e FieldRef) String() string { return e.Field.String() }
+func (e TupleExpr) String() string {
+	parts := make([]string, len(e.Elems))
+	for i, el := range e.Elems {
+		parts[i] = el.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// V builds a constant expression.
+func V(v values.Value) Expr { return Const{Val: v} }
+
+// F builds a field-reference expression.
+func F(f pkt.Field) Expr { return FieldRef{Field: f} }
+
+// Vec builds a vector expression.
+func Vec(elems ...Expr) Expr {
+	if len(elems) == 1 {
+		return elems[0]
+	}
+	return TupleExpr{Elems: elems}
+}
+
+// Policy is a SNAP policy p, q ∈ Pol. Every Pred is also a Policy.
+type Policy interface {
+	isPolicy()
+	fmt.Stringer
+}
+
+// Pred is a SNAP predicate x, y ∈ Pred: a policy that never modifies
+// packets or state and passes or drops its input.
+type Pred interface {
+	Policy
+	isPred()
+}
+
+// --- Predicates ---
+
+// Identity (id) passes every packet.
+type Identity struct{}
+
+// Drop drops every packet.
+type Drop struct{}
+
+// Test is the field test f = v. A Prefix value tests IP membership.
+type Test struct {
+	Field pkt.Field
+	Val   values.Value
+}
+
+// Not is negation ¬x.
+type Not struct{ X Pred }
+
+// Or is disjunction x | y.
+type Or struct{ X, Y Pred }
+
+// And is conjunction x & y.
+type And struct{ X, Y Pred }
+
+// StateTest is the stateful predicate s[e1] = e2.
+type StateTest struct {
+	Var      string
+	Idx, Val Expr
+}
+
+func (Identity) isPred()  {}
+func (Drop) isPred()      {}
+func (Test) isPred()      {}
+func (Not) isPred()       {}
+func (Or) isPred()        {}
+func (And) isPred()       {}
+func (StateTest) isPred() {}
+
+func (Identity) isPolicy()  {}
+func (Drop) isPolicy()      {}
+func (Test) isPolicy()      {}
+func (Not) isPolicy()       {}
+func (Or) isPolicy()        {}
+func (And) isPolicy()       {}
+func (StateTest) isPolicy() {}
+
+// --- Policies ---
+
+// Modify is the field modification f ← v.
+type Modify struct {
+	Field pkt.Field
+	Val   values.Value
+}
+
+// Parallel is parallel composition p + q (multicast).
+type Parallel struct{ P, Q Policy }
+
+// Seq is sequential composition p; q.
+type Seq struct{ P, Q Policy }
+
+// SetState is the state update s[e1] ← e2.
+type SetState struct {
+	Var      string
+	Idx, Val Expr
+}
+
+// Incr is s[e]++ and Decr is s[e]--.
+type Incr struct {
+	Var string
+	Idx Expr
+}
+
+// Decr decrements a state entry.
+type Decr struct {
+	Var string
+	Idx Expr
+}
+
+// If is the explicit conditional "if a then p else q".
+type If struct {
+	Cond Pred
+	Then Policy
+	Else Policy
+}
+
+// Atomic is the network-transaction block atomic(p): all state in p must be
+// co-located and updated atomically (§2.1, §3).
+type Atomic struct{ P Policy }
+
+func (Modify) isPolicy()   {}
+func (Parallel) isPolicy() {}
+func (Seq) isPolicy()      {}
+func (SetState) isPolicy() {}
+func (Incr) isPolicy()     {}
+func (Decr) isPolicy()     {}
+func (If) isPolicy()       {}
+func (Atomic) isPolicy()   {}
+
+// --- Constructors (the public program-building API) ---
+
+// Id returns the identity predicate.
+func Id() Pred { return Identity{} }
+
+// Nothing returns the drop predicate.
+func Nothing() Pred { return Drop{} }
+
+// FieldEq builds the test f = v.
+func FieldEq(f pkt.Field, v values.Value) Pred { return Test{Field: f, Val: v} }
+
+// Neg builds ¬x.
+func Neg(x Pred) Pred { return Not{X: x} }
+
+// Disj builds x | y over any number of operands (left-associated).
+func Disj(xs ...Pred) Pred {
+	return foldPred(xs, func(a, b Pred) Pred { return Or{X: a, Y: b} }, Nothing())
+}
+
+// Conj builds x & y over any number of operands (left-associated).
+func Conj(xs ...Pred) Pred {
+	return foldPred(xs, func(a, b Pred) Pred { return And{X: a, Y: b} }, Id())
+}
+
+func foldPred(xs []Pred, op func(a, b Pred) Pred, unit Pred) Pred {
+	switch len(xs) {
+	case 0:
+		return unit
+	case 1:
+		return xs[0]
+	}
+	acc := xs[0]
+	for _, x := range xs[1:] {
+		acc = op(acc, x)
+	}
+	return acc
+}
+
+// TestState builds s[idx] = val.
+func TestState(s string, idx, val Expr) Pred { return StateTest{Var: s, Idx: idx, Val: val} }
+
+// Assign builds f ← v.
+func Assign(f pkt.Field, v values.Value) Policy { return Modify{Field: f, Val: v} }
+
+// Par builds p + q over any number of operands.
+func Par(ps ...Policy) Policy {
+	return foldPolicy(ps, func(a, b Policy) Policy { return Parallel{P: a, Q: b} }, Nothing())
+}
+
+// Then builds p; q over any number of operands.
+func Then(ps ...Policy) Policy {
+	return foldPolicy(ps, func(a, b Policy) Policy { return Seq{P: a, Q: b} }, Id())
+}
+
+func foldPolicy(ps []Policy, op func(a, b Policy) Policy, unit Policy) Policy {
+	switch len(ps) {
+	case 0:
+		return unit
+	case 1:
+		return ps[0]
+	}
+	acc := ps[0]
+	for _, p := range ps[1:] {
+		acc = op(acc, p)
+	}
+	return acc
+}
+
+// WriteState builds s[idx] ← val.
+func WriteState(s string, idx, val Expr) Policy { return SetState{Var: s, Idx: idx, Val: val} }
+
+// IncrState builds s[idx]++.
+func IncrState(s string, idx Expr) Policy { return Incr{Var: s, Idx: idx} }
+
+// DecrState builds s[idx]--.
+func DecrState(s string, idx Expr) Policy { return Decr{Var: s, Idx: idx} }
+
+// Cond builds "if a then p else q".
+func Cond(a Pred, p, q Policy) Policy { return If{Cond: a, Then: p, Else: q} }
+
+// Transaction builds atomic(p).
+func Transaction(p Policy) Policy { return Atomic{P: p} }
+
+// --- Pretty printing in the paper's surface syntax ---
+
+func (Identity) String() string { return "id" }
+func (Drop) String() string     { return "drop" }
+func (t Test) String() string   { return fmt.Sprintf("%s = %s", t.Field, t.Val) }
+func (n Not) String() string    { return "~(" + n.X.String() + ")" }
+func (o Or) String() string     { return "(" + o.X.String() + " | " + o.Y.String() + ")" }
+func (a And) String() string    { return "(" + a.X.String() + " & " + a.Y.String() + ")" }
+func (s StateTest) String() string {
+	return fmt.Sprintf("%s%s = %s", s.Var, indexString(s.Idx), s.Val)
+}
+
+func (m Modify) String() string   { return fmt.Sprintf("%s <- %s", m.Field, m.Val) }
+func (p Parallel) String() string { return "(" + p.P.String() + " + " + p.Q.String() + ")" }
+func (s Seq) String() string      { return "(" + s.P.String() + "; " + s.Q.String() + ")" }
+func (s SetState) String() string {
+	return fmt.Sprintf("%s%s <- %s", s.Var, indexString(s.Idx), s.Val)
+}
+func (i Incr) String() string { return fmt.Sprintf("%s%s++", i.Var, indexString(i.Idx)) }
+func (d Decr) String() string { return fmt.Sprintf("%s%s--", d.Var, indexString(d.Idx)) }
+func (i If) String() string {
+	// Parenthesized so a following "; q" in an enclosing sequence cannot
+	// re-associate into the else branch when re-parsed.
+	return fmt.Sprintf("(if %s then %s else %s)", i.Cond, i.Then, i.Else)
+}
+func (a Atomic) String() string { return "atomic(" + a.P.String() + ")" }
+
+// indexString renders an index expression as chained [..][..] components.
+func indexString(e Expr) string {
+	if t, ok := e.(TupleExpr); ok {
+		var b strings.Builder
+		for _, el := range t.Elems {
+			fmt.Fprintf(&b, "[%s]", el)
+		}
+		return b.String()
+	}
+	return "[" + e.String() + "]"
+}
+
+// Size returns the number of AST nodes in p, a rough complexity measure used
+// by the evaluation harness.
+func Size(p Policy) int {
+	switch n := p.(type) {
+	case Not:
+		return 1 + Size(n.X)
+	case Or:
+		return 1 + Size(n.X) + Size(n.Y)
+	case And:
+		return 1 + Size(n.X) + Size(n.Y)
+	case Parallel:
+		return 1 + Size(n.P) + Size(n.Q)
+	case Seq:
+		return 1 + Size(n.P) + Size(n.Q)
+	case If:
+		return 1 + Size(n.Cond) + Size(n.Then) + Size(n.Else)
+	case Atomic:
+		return 1 + Size(n.P)
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,455 @@
+// Package topo models the physical network topologies SNAP compiles onto:
+// switches, directed capacitated links and external (one-big-switch) ports.
+//
+// Besides the paper's running-example campus network (Figure 2), the package
+// synthesizes the evaluation topologies of Table 5 (three campus networks
+// and four RocketFuel ISP backbones) and IGen-style networks of arbitrary
+// size (§6.2). The production datasets themselves are not distributable, so
+// generators reproduce the *published* switch/edge/port counts with a
+// deterministic seed; compiler phase costs depend on those counts, which is
+// what the evaluation measures (see DESIGN.md, substitution #2).
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// NodeID identifies a switch.
+type NodeID int
+
+// Port is an external OBS port attached to an edge switch. Ports are
+// numbered from 1 as in the paper's examples.
+type Port struct {
+	ID     int
+	Switch NodeID
+}
+
+// Link is a directed link with capacity in abstract volume units.
+type Link struct {
+	From, To NodeID
+	Capacity float64
+}
+
+// Topology is a switch graph with external ports.
+type Topology struct {
+	Name     string
+	Switches int
+	Links    []Link
+	Ports    []Port
+
+	out       [][]int // adjacency: out[n] lists indices into Links
+	linkIndex map[[2]NodeID]int
+	portBy    map[int]Port
+}
+
+// New builds a topology and freezes its adjacency indexes. Links must not
+// repeat.
+func New(name string, switches int, links []Link, ports []Port) (*Topology, error) {
+	t := &Topology{
+		Name:      name,
+		Switches:  switches,
+		Links:     links,
+		Ports:     ports,
+		out:       make([][]int, switches),
+		linkIndex: make(map[[2]NodeID]int, len(links)),
+		portBy:    make(map[int]Port, len(ports)),
+	}
+	for i, l := range links {
+		if l.From < 0 || int(l.From) >= switches || l.To < 0 || int(l.To) >= switches {
+			return nil, fmt.Errorf("topology %s: link %d endpoints out of range", name, i)
+		}
+		key := [2]NodeID{l.From, l.To}
+		if _, dup := t.linkIndex[key]; dup {
+			return nil, fmt.Errorf("topology %s: duplicate link %d->%d", name, l.From, l.To)
+		}
+		t.linkIndex[key] = i
+		t.out[l.From] = append(t.out[l.From], i)
+	}
+	for _, p := range ports {
+		if int(p.Switch) >= switches {
+			return nil, fmt.Errorf("topology %s: port %d on unknown switch %d", name, p.ID, p.Switch)
+		}
+		if _, dup := t.portBy[p.ID]; dup {
+			return nil, fmt.Errorf("topology %s: duplicate port id %d", name, p.ID)
+		}
+		t.portBy[p.ID] = p
+	}
+	return t, nil
+}
+
+// MustNew builds a topology or panics; used by the deterministic generators.
+func MustNew(name string, switches int, links []Link, ports []Port) *Topology {
+	t, err := New(name, switches, links, ports)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// OutLinks returns the indices of links leaving n.
+func (t *Topology) OutLinks(n NodeID) []int { return t.out[n] }
+
+// LinkBetween returns the index of the n→m link, or -1.
+func (t *Topology) LinkBetween(n, m NodeID) int {
+	if i, ok := t.linkIndex[[2]NodeID{n, m}]; ok {
+		return i
+	}
+	return -1
+}
+
+// PortByID resolves an external port.
+func (t *Topology) PortByID(id int) (Port, bool) {
+	p, ok := t.portBy[id]
+	return p, ok
+}
+
+// PortIDs returns all external port ids, sorted.
+func (t *Topology) PortIDs() []int {
+	ids := make([]int, 0, len(t.Ports))
+	for _, p := range t.Ports {
+		ids = append(ids, p.ID)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Degree returns the out-degree of each switch.
+func (t *Topology) Degree() []int {
+	deg := make([]int, t.Switches)
+	for _, l := range t.Links {
+		deg[l.From]++
+	}
+	return deg
+}
+
+// ShortestDists runs Dijkstra from src with the given per-link weights
+// (indexed like Links; nil means unit weights), returning distance and
+// predecessor-link arrays. Unreachable nodes have distance +Inf (1e30).
+func (t *Topology) ShortestDists(src NodeID, weight []float64) (dist []float64, prevLink []int) {
+	const inf = 1e30
+	dist = make([]float64, t.Switches)
+	prevLink = make([]int, t.Switches)
+	visited := make([]bool, t.Switches)
+	for i := range dist {
+		dist[i] = inf
+		prevLink[i] = -1
+	}
+	dist[src] = 0
+	for {
+		// Linear-scan extract-min: topologies stay in the hundreds of
+		// switches, where a heap buys little.
+		best, bestD := -1, inf
+		for n := 0; n < t.Switches; n++ {
+			if !visited[n] && dist[n] < bestD {
+				best, bestD = n, dist[n]
+			}
+		}
+		if best < 0 {
+			return dist, prevLink
+		}
+		visited[best] = true
+		for _, li := range t.out[best] {
+			l := t.Links[li]
+			w := 1.0
+			if weight != nil {
+				w = weight[li]
+			}
+			if nd := bestD + w; nd < dist[l.To] {
+				dist[l.To] = nd
+				prevLink[l.To] = li
+			}
+		}
+	}
+}
+
+// PathLinks reconstructs the src→dst link sequence from a Dijkstra run.
+func (t *Topology) PathLinks(prevLink []int, dst NodeID) []int {
+	var rev []int
+	for n := dst; prevLink[n] >= 0; n = t.Links[prevLink[n]].From {
+		rev = append(rev, prevLink[n])
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Connected reports whether every switch is reachable from switch 0.
+func (t *Topology) Connected() bool {
+	if t.Switches == 0 {
+		return true
+	}
+	dist, _ := t.ShortestDists(0, nil)
+	for _, d := range dist {
+		if d >= 1e30 {
+			return false
+		}
+	}
+	return true
+}
+
+// Campus returns the running-example network of Figure 2: ingress routers
+// I1–I2 and department edges D1–D4 (D4 = the CS building, port 6) over a
+// six-router core. Wiring follows the §2.2 path descriptions: I1/D1 reach
+// D4 via C1–C5, I2/D2 via C2–C6, D3 via C5.
+func Campus(capacity float64) *Topology {
+	// Node ids: 0..5 edge (I1, I2, D1, D2, D3, D4), 6..11 core (C1..C6).
+	const (
+		I1 = iota
+		I2
+		D1
+		D2
+		D3
+		D4
+		C1
+		C2
+		C3
+		C4
+		C5
+		C6
+	)
+	undirected := [][2]NodeID{
+		{I1, C1}, {I1, C3},
+		{I2, C2}, {I2, C4},
+		{D1, C1}, {D1, C3},
+		{D2, C2}, {D2, C4},
+		{D3, C5}, {D3, C3},
+		{D4, C5}, {D4, C6},
+		{C1, C5}, {C2, C6}, {C3, C5}, {C4, C6}, {C1, C2}, {C3, C4},
+	}
+	var links []Link
+	for _, e := range undirected {
+		links = append(links,
+			Link{From: e[0], To: e[1], Capacity: capacity},
+			Link{From: e[1], To: e[0], Capacity: capacity})
+	}
+	ports := []Port{
+		{ID: 1, Switch: I1},
+		{ID: 2, Switch: I2},
+		{ID: 3, Switch: D1},
+		{ID: 4, Switch: D2},
+		{ID: 5, Switch: D3},
+		{ID: 6, Switch: D4},
+	}
+	return MustNew("campus", 12, links, ports)
+}
+
+// CampusSwitchName names the campus switches for diagnostics.
+func CampusSwitchName(n NodeID) string {
+	names := []string{"I1", "I2", "D1", "D2", "D3", "D4", "C1", "C2", "C3", "C4", "C5", "C6"}
+	if int(n) < len(names) {
+		return names[n]
+	}
+	return fmt.Sprintf("S%d", n)
+}
+
+// Spec describes a Table 5 evaluation topology: the published switch count,
+// directed-edge count and external-port count (#Demands = ports²).
+type Spec struct {
+	Name     string
+	Switches int
+	Edges    int // directed links
+	Ports    int
+	Kind     string // "campus" or "isp"
+}
+
+// Table5 lists the seven evaluation topologies with the counts published in
+// Table 5 of the paper (port counts are derived from the demand counts:
+// #Demands = ports²).
+func Table5() []Spec {
+	return []Spec{
+		{Name: "Stanford", Switches: 26, Edges: 92, Ports: 144, Kind: "campus"},
+		{Name: "Berkeley", Switches: 25, Edges: 96, Ports: 185, Kind: "campus"},
+		{Name: "Purdue", Switches: 98, Edges: 232, Ports: 156, Kind: "campus"},
+		{Name: "AS1755", Switches: 87, Edges: 322, Ports: 60, Kind: "isp"},
+		{Name: "AS1221", Switches: 104, Edges: 302, Ports: 72, Kind: "isp"},
+		{Name: "AS6461", Switches: 138, Edges: 744, Ports: 96, Kind: "isp"},
+		{Name: "AS3257", Switches: 161, Edges: 656, Ports: 112, Kind: "isp"},
+	}
+}
+
+// Named synthesizes a Table 5 topology (optionally scaling the port count
+// by portScale in (0,1] to trim demand counts for CI-sized runs).
+func Named(name string, capacity, portScale float64) (*Topology, error) {
+	for _, spec := range Table5() {
+		if spec.Name == name {
+			ports := int(float64(spec.Ports) * portScale)
+			if ports < 2 {
+				ports = 2
+			}
+			return synthesize(spec.Name, spec.Switches, spec.Edges, ports, capacity), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown Table 5 topology %q", name)
+}
+
+// synthesize builds a deterministic connected graph with the requested
+// switch count and directed-edge count: a random spanning tree plus random
+// extra links, mirroring the degree spread of inferred ISP maps. External
+// ports go to the 70% lowest-degree switches (§6.2), round-robin.
+func synthesize(name string, switches, directedEdges, ports int, capacity float64) *Topology {
+	rng := rand.New(rand.NewSource(seedFor(name)))
+	undirected := directedEdges / 2
+
+	type edge struct{ a, b NodeID }
+	var edges []edge
+	seen := map[[2]NodeID]bool{}
+	addEdge := func(a, b NodeID) bool {
+		if a == b {
+			return false
+		}
+		k := [2]NodeID{min(a, b), max(a, b)}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		edges = append(edges, edge{a, b})
+		return true
+	}
+
+	// Random spanning tree (random attachment gives a heavy-tailed degree
+	// spread similar to router-level maps).
+	perm := rng.Perm(switches)
+	for i := 1; i < switches; i++ {
+		parent := perm[rng.Intn(i)]
+		addEdge(NodeID(perm[i]), NodeID(parent))
+	}
+	for len(edges) < undirected {
+		addEdge(NodeID(rng.Intn(switches)), NodeID(rng.Intn(switches)))
+	}
+
+	var links []Link
+	for _, e := range edges {
+		links = append(links,
+			Link{From: e.a, To: e.b, Capacity: capacity},
+			Link{From: e.b, To: e.a, Capacity: capacity})
+	}
+
+	t := MustNew(name, switches, links, nil)
+	t.Ports = edgePorts(t, ports)
+	for _, p := range t.Ports {
+		t.portBy[p.ID] = p
+	}
+	return t
+}
+
+// edgePorts picks the 70% lowest-degree switches as edge switches and
+// spreads the requested number of external ports over them round-robin.
+func edgePorts(t *Topology, ports int) []Port {
+	deg := t.Degree()
+	order := make([]int, t.Switches)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if deg[order[i]] != deg[order[j]] {
+			return deg[order[i]] < deg[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	nEdge := (t.Switches*7 + 9) / 10
+	if nEdge < 1 {
+		nEdge = 1
+	}
+	edges := order[:nEdge]
+	sort.Ints(edges)
+	out := make([]Port, 0, ports)
+	for i := 0; i < ports; i++ {
+		out = append(out, Port{ID: i + 1, Switch: NodeID(edges[i%len(edges)])})
+	}
+	return out
+}
+
+// IGen synthesizes an IGen-style network of n switches (§6.2 "Scaling with
+// topology size"): switches are placed on a plane, connected to their
+// nearest neighbors plus a spanning backbone, with 70% lowest-degree
+// switches carrying one external port each.
+func IGen(n int, capacity float64) *Topology {
+	rng := rand.New(rand.NewSource(seedFor(fmt.Sprintf("igen-%d", n))))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist2 := func(a, b int) float64 {
+		dx, dy := xs[a]-xs[b], ys[a]-ys[b]
+		return dx*dx + dy*dy
+	}
+
+	seen := map[[2]NodeID]bool{}
+	var pairs [][2]NodeID
+	add := func(a, b int) {
+		if a == b {
+			return
+		}
+		k := [2]NodeID{NodeID(min(a, b)), NodeID(max(a, b))}
+		if !seen[k] {
+			seen[k] = true
+			pairs = append(pairs, k)
+		}
+	}
+
+	// k-nearest-neighbor links (k=2), IGen's basic heuristic.
+	for i := 0; i < n; i++ {
+		type cand struct {
+			j int
+			d float64
+		}
+		var cs []cand
+		for j := 0; j < n; j++ {
+			if j != i {
+				cs = append(cs, cand{j, dist2(i, j)})
+			}
+		}
+		sort.Slice(cs, func(a, b int) bool { return cs[a].d < cs[b].d })
+		for k := 0; k < 2 && k < len(cs); k++ {
+			add(i, cs[k].j)
+		}
+	}
+
+	// Greedy MST (Prim) to guarantee connectivity, emulating IGen's
+	// backbone tree.
+	inTree := make([]bool, n)
+	inTree[0] = true
+	for count := 1; count < n; count++ {
+		bi, bj, bd := -1, -1, 1e30
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if !inTree[j] && dist2(i, j) < bd {
+					bi, bj, bd = i, j, dist2(i, j)
+				}
+			}
+		}
+		inTree[bj] = true
+		add(bi, bj)
+	}
+
+	var links []Link
+	for _, p := range pairs {
+		links = append(links,
+			Link{From: p[0], To: p[1], Capacity: capacity},
+			Link{From: p[1], To: p[0], Capacity: capacity})
+	}
+	t := MustNew(fmt.Sprintf("igen-%d", n), n, links, nil)
+	nPorts := (n*7 + 9) / 10
+	t.Ports = edgePorts(t, nPorts)
+	for _, p := range t.Ports {
+		t.portBy[p.ID] = p
+	}
+	return t
+}
+
+func seedFor(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,102 @@
+// Package traffic synthesizes traffic matrices over a topology's external
+// ports with the gravity model of Roughan [31], as used by the paper's
+// evaluation (§6.2: "Traffic matrices are synthesized using a gravity
+// model"). Each port u draws an exponential weight w_u; the demand between
+// ports u and v is Total·w_u·w_v / (Σw)², giving the heavy-tailed,
+// rank-1 structure typical of measured matrices.
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"snap/internal/topo"
+)
+
+// Matrix maps ordered OBS port pairs (u, v), u ≠ v, to demand volume.
+type Matrix map[[2]int]float64
+
+// Gravity synthesizes a matrix over the topology's ports. total is the sum
+// of all demands; the same seed always yields the same matrix.
+func Gravity(t *topo.Topology, total float64, seed int64) Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	ports := t.PortIDs()
+	if len(ports) < 2 {
+		return Matrix{}
+	}
+	w := make(map[int]float64, len(ports))
+	var sum float64
+	for _, p := range ports {
+		// Exponential weights: -ln U.
+		x := -math.Log(1 - rng.Float64())
+		w[p] = x
+		sum += x
+	}
+	// Σ_u Σ_{v≠u} w_u w_v = sum² - Σ w_u²; normalize so demands add to total.
+	var sq float64
+	for _, x := range w {
+		sq += x * x
+	}
+	norm := sum*sum - sq
+	if norm <= 0 {
+		norm = 1
+	}
+	m := make(Matrix, len(ports)*(len(ports)-1))
+	for _, u := range ports {
+		for _, v := range ports {
+			if u != v {
+				m[[2]int{u, v}] = total * w[u] * w[v] / norm
+			}
+		}
+	}
+	return m
+}
+
+// Uniform builds a matrix with identical demand on every ordered pair.
+func Uniform(t *topo.Topology, perPair float64) Matrix {
+	ports := t.PortIDs()
+	m := make(Matrix, len(ports)*(len(ports)-1))
+	for _, u := range ports {
+		for _, v := range ports {
+			if u != v {
+				m[[2]int{u, v}] = perPair
+			}
+		}
+	}
+	return m
+}
+
+// Total returns the sum of all demands.
+func (m Matrix) Total() float64 {
+	var s float64
+	for _, d := range m {
+		s += d
+	}
+	return s
+}
+
+// Pairs returns the ordered pairs with nonzero demand, sorted for
+// deterministic iteration.
+func (m Matrix) Pairs() [][2]int {
+	out := make([][2]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Scale returns a copy of m with every demand multiplied by f.
+func (m Matrix) Scale(f float64) Matrix {
+	out := make(Matrix, len(m))
+	for k, v := range m {
+		out[k] = v * f
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"snap/internal/topo"
+)
+
+func TestGravityTotalAndDeterminism(t *testing.T) {
+	net := topo.Campus(100)
+	m1 := Gravity(net, 250, 7)
+	m2 := Gravity(net, 250, 7)
+	if math.Abs(m1.Total()-250) > 1e-6 {
+		t.Fatalf("total = %f, want 250", m1.Total())
+	}
+	if len(m1) != 30 { // 6 ports → 30 ordered pairs
+		t.Fatalf("pairs = %d, want 30", len(m1))
+	}
+	for k, v := range m1 {
+		if v <= 0 {
+			t.Fatalf("non-positive demand on %v", k)
+		}
+		if m2[k] != v {
+			t.Fatalf("determinism: %v differs", k)
+		}
+	}
+	m3 := Gravity(net, 250, 8)
+	same := true
+	for k, v := range m1 {
+		if m3[k] != v {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds must give different matrices")
+	}
+}
+
+// TestGravityRankOne: gravity matrices satisfy d(u,v)·d(v,u) symmetry of
+// weights — d(u,v)/d(u,w) is independent of u (rank-1 structure).
+func TestGravityRankOne(t *testing.T) {
+	net := topo.Campus(100)
+	m := Gravity(net, 100, 3)
+	ports := net.PortIDs()
+	u1, u2 := ports[0], ports[1]
+	v1, v2 := ports[2], ports[3]
+	r1 := m[[2]int{u1, v1}] / m[[2]int{u1, v2}]
+	r2 := m[[2]int{u2, v1}] / m[[2]int{u2, v2}]
+	if math.Abs(r1-r2) > 1e-9*math.Abs(r1) {
+		t.Fatalf("rank-1 violated: %f vs %f", r1, r2)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	net := topo.Campus(100)
+	m := Uniform(net, 2)
+	if len(m) != 30 {
+		t.Fatalf("pairs = %d", len(m))
+	}
+	for k, v := range m {
+		if v != 2 {
+			t.Fatalf("demand %v on %v", v, k)
+		}
+		if k[0] == k[1] {
+			t.Fatalf("self pair %v", k)
+		}
+	}
+}
+
+func TestPairsSortedAndScale(t *testing.T) {
+	net := topo.Campus(100)
+	m := Gravity(net, 100, 1)
+	ps := m.Pairs()
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1][0] > ps[i][0] || (ps[i-1][0] == ps[i][0] && ps[i-1][1] >= ps[i][1]) {
+			t.Fatalf("unsorted pairs at %d: %v", i, ps[i-1:i+1])
+		}
+	}
+	s := m.Scale(2)
+	if math.Abs(s.Total()-2*m.Total()) > 1e-9 {
+		t.Fatal("scale must double the total")
+	}
+}
+
+func TestDegenerateTopologies(t *testing.T) {
+	one := topo.MustNew("one", 1, nil, []topo.Port{{ID: 1, Switch: 0}})
+	if m := Gravity(one, 10, 1); len(m) != 0 {
+		t.Fatalf("single-port matrix must be empty: %v", m)
+	}
+}

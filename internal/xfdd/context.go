@@ -1,0 +1,331 @@
+package xfdd
+
+import (
+	"snap/internal/pkt"
+	"snap/internal/syntax"
+	"snap/internal/values"
+)
+
+// Context accumulates the tests (and their outcomes) passed on the current
+// xFDD path, plus field assignments from action sequences, and answers
+// inference queries: does a test's outcome follow from what we already know?
+// This is the "context" argument threaded through ⊕ and the sequential
+// composition algorithm in Figure 8 and Appendix E.
+//
+// Contexts are persistent: With* methods return extended copies.
+type Context struct {
+	// vals holds exact known field values (from passed exact-value tests or
+	// field assignments of a preceding action sequence).
+	vals map[pkt.Field]values.Value
+	// pos/neg hold passed and failed field-value tests (including prefix
+	// tests, which constrain without pinning an exact value).
+	pos map[pkt.Field][]values.Value
+	neg map[pkt.Field][]values.Value
+	// parent implements a union-find over fields known equal; neq records
+	// field pairs known unequal.
+	parent map[pkt.Field]pkt.Field
+	neq    map[[2]pkt.Field]bool
+	// st maps resolved canonical state tests to their recorded outcome.
+	st map[string]bool
+}
+
+// NewContext returns an empty context.
+func NewContext() *Context {
+	return &Context{
+		vals:   map[pkt.Field]values.Value{},
+		pos:    map[pkt.Field][]values.Value{},
+		neg:    map[pkt.Field][]values.Value{},
+		parent: map[pkt.Field]pkt.Field{},
+		neq:    map[[2]pkt.Field]bool{},
+		st:     map[string]bool{},
+	}
+}
+
+func (c *Context) clone() *Context {
+	n := NewContext()
+	for k, v := range c.vals {
+		n.vals[k] = v
+	}
+	for k, v := range c.pos {
+		n.pos[k] = append([]values.Value(nil), v...)
+	}
+	for k, v := range c.neg {
+		n.neg[k] = append([]values.Value(nil), v...)
+	}
+	for k, v := range c.parent {
+		n.parent[k] = v
+	}
+	for k, v := range c.neq {
+		n.neq[k] = v
+	}
+	for k, v := range c.st {
+		n.st[k] = v
+	}
+	return n
+}
+
+func (c *Context) root(f pkt.Field) pkt.Field {
+	for {
+		p, ok := c.parent[f]
+		if !ok || p == f {
+			return f
+		}
+		f = p
+	}
+}
+
+// KnownValue returns the exact value of f if the context pins one,
+// consulting field-equality classes.
+func (c *Context) KnownValue(f pkt.Field) (values.Value, bool) {
+	r := c.root(f)
+	for g, v := range c.vals {
+		if c.root(g) == r {
+			return v, true
+		}
+	}
+	return values.None, false
+}
+
+// With returns c extended with the outcome of a test. Recording a test the
+// context already decides is harmless.
+func (c *Context) With(t Test, outcome bool) *Context {
+	n := c.clone()
+	switch x := t.(type) {
+	case FVTest:
+		if outcome {
+			if x.Val.Kind != values.KindPrefix {
+				n.vals[n.root(x.Field)] = x.Val
+			}
+			n.pos[x.Field] = append(n.pos[x.Field], x.Val)
+		} else {
+			n.neg[x.Field] = append(n.neg[x.Field], x.Val)
+		}
+	case FFTest:
+		r1, r2 := n.root(x.F1), n.root(x.F2)
+		if outcome {
+			if r1 != r2 {
+				// Union; propagate a known value across the merged class.
+				n.parent[r2] = r1
+				if v, ok := n.vals[r2]; ok {
+					n.vals[r1] = v
+					delete(n.vals, r2)
+				}
+			}
+		} else {
+			n.neq[fieldPair(r1, r2)] = true
+		}
+	case STest:
+		n.st[n.resolveSTKey(x)] = outcome
+	}
+	return n
+}
+
+// WithAssignments returns c extended with exact field values established by
+// an action sequence's modifications (the update(T, fmap) of Appendix E).
+// Assignment overrides any prior knowledge about the field, and detaches the
+// field from its equality class (its value no longer tracks the class).
+func (c *Context) WithAssignments(fmap map[pkt.Field]values.Value) *Context {
+	if len(fmap) == 0 {
+		return c
+	}
+	n := c.clone()
+	for f, v := range fmap {
+		// Detach f: make it its own singleton class.
+		n.detach(f)
+		n.vals[f] = v
+		n.pos[f] = nil
+		n.neg[f] = nil
+	}
+	return n
+}
+
+// detach removes f from its union-find class, re-rooting the remainder.
+func (c *Context) detach(f pkt.Field) {
+	r := c.root(f)
+	// Collect members of the class other than f.
+	var members []pkt.Field
+	for g := range c.parent {
+		if g != f && c.root(g) == r {
+			members = append(members, g)
+		}
+	}
+	if r != f {
+		// f was not the root: just unlink it.
+		delete(c.parent, f)
+		return
+	}
+	// f was the root: pick a new root among members and repoint.
+	delete(c.parent, f)
+	if len(members) == 0 {
+		return
+	}
+	newRoot := members[0]
+	for _, g := range members {
+		if g < newRoot {
+			newRoot = g
+		}
+	}
+	for _, g := range members {
+		c.parent[g] = newRoot
+	}
+	delete(c.parent, newRoot)
+	if v, ok := c.vals[f]; ok {
+		c.vals[newRoot] = v
+		delete(c.vals, f)
+	}
+}
+
+func fieldPair(a, b pkt.Field) [2]pkt.Field {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]pkt.Field{a, b}
+}
+
+// Infer reports whether the context decides test t, and if so its outcome.
+// This is the inferred() helper of Appendix E generalized to all test kinds.
+func (c *Context) Infer(t Test) (outcome, known bool) {
+	switch x := t.(type) {
+	case FVTest:
+		if v, ok := c.KnownValue(x.Field); ok {
+			return x.Val.Matches(v), true
+		}
+		for _, w := range c.pos[x.Field] {
+			if x.Val.Subsumes(w) {
+				return true, true
+			}
+			if values.Disjoint(x.Val, w) {
+				return false, true
+			}
+		}
+		for _, w := range c.neg[x.Field] {
+			if w.Subsumes(x.Val) {
+				return false, true
+			}
+		}
+		return false, false
+
+	case FFTest:
+		r1, r2 := c.root(x.F1), c.root(x.F2)
+		if r1 == r2 {
+			return true, true
+		}
+		v1, ok1 := c.KnownValue(x.F1)
+		v2, ok2 := c.KnownValue(x.F2)
+		if ok1 && ok2 {
+			return values.Eq(v1, v2), true
+		}
+		if c.neq[fieldPair(r1, r2)] {
+			return false, true
+		}
+		return false, false
+
+	case STest:
+		if res, ok := c.st[c.resolveSTKey(x)]; ok {
+			return res, true
+		}
+		return false, false
+	}
+	return false, false
+}
+
+// ResolveExpr substitutes context knowledge into a scalar expression: known
+// field values become constants; otherwise field refs are normalized to
+// their equality-class root (the value() helper of Appendix E).
+func (c *Context) ResolveExpr(e syntax.Expr) syntax.Expr {
+	if fr, ok := e.(syntax.FieldRef); ok {
+		if v, ok := c.KnownValue(fr.Field); ok {
+			return syntax.Const{Val: v}
+		}
+		return syntax.FieldRef{Field: c.root(fr.Field)}
+	}
+	return e
+}
+
+// ResolveIdx applies ResolveExpr to each index component.
+func (c *Context) ResolveIdx(idx []syntax.Expr) []syntax.Expr {
+	out := make([]syntax.Expr, len(idx))
+	for i, e := range idx {
+		out[i] = c.ResolveExpr(e)
+	}
+	return out
+}
+
+// resolveSTKey canonicalizes a state test under the context, so that
+// s[srcip]=v and s[dstip]=v share a key whenever srcip and dstip are known
+// equal.
+func (c *Context) resolveSTKey(t STest) string {
+	return t.Var + IndexKey(c.ResolveIdx(t.Idx)) + "=" + ExprKey(c.ResolveExpr(t.Val))
+}
+
+// EqOutcome classifies expression-equality queries.
+type EqOutcome int
+
+// Possible eequal outcomes: the expressions are certainly equal, certainly
+// unequal, or undetermined (branch on DecidingTest).
+const (
+	EqYes EqOutcome = iota
+	EqNo
+	EqBoth
+)
+
+// EExprEqual implements eequal (Algorithm 4): decide whether two expression
+// vectors evaluate to equal value tuples under the context. When
+// undetermined, it returns the field-field or field-value test whose outcome
+// would decide the first undetermined component.
+func (c *Context) EExprEqual(e1, e2 []syntax.Expr) (EqOutcome, Test) {
+	if len(e1) != len(e2) {
+		return EqNo, nil
+	}
+	for i := range e1 {
+		a := c.ResolveExpr(e1[i])
+		b := c.ResolveExpr(e2[i])
+		ca, isCA := a.(syntax.Const)
+		cb, isCB := b.(syntax.Const)
+		switch {
+		case isCA && isCB:
+			if !values.Eq(ca.Val, cb.Val) {
+				return EqNo, nil
+			}
+		case !isCA && !isCB:
+			fa := a.(syntax.FieldRef).Field
+			fb := b.(syntax.FieldRef).Field
+			if fa == fb {
+				continue
+			}
+			t := NewFF(fa, fb)
+			if out, known := c.Infer(t); known {
+				if !out {
+					return EqNo, nil
+				}
+				continue
+			}
+			return EqBoth, t
+		default:
+			// One constant, one field: branch on a field-value test.
+			var f pkt.Field
+			var v values.Value
+			if isCA {
+				f, v = b.(syntax.FieldRef).Field, ca.Val
+			} else {
+				f, v = a.(syntax.FieldRef).Field, cb.Val
+			}
+			if v.Kind == values.KindPrefix {
+				// A prefix literal used as an index value denotes the prefix
+				// object itself; packet fields hold exact values, so the
+				// component cannot be equal (documented restriction: fields
+				// are never assigned prefix values).
+				return EqNo, nil
+			}
+			t := FVTest{Field: f, Val: v}
+			if out, known := c.Infer(t); known {
+				if !out {
+					return EqNo, nil
+				}
+				continue
+			}
+			return EqBoth, t
+		}
+	}
+	return EqYes, nil
+}

@@ -1,0 +1,209 @@
+package xfdd_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"snap/internal/apps"
+	"snap/internal/pkt"
+	"snap/internal/semantics"
+	"snap/internal/state"
+	"snap/internal/syntax"
+	"snap/internal/values"
+	"snap/internal/xfdd"
+)
+
+// randomPacket draws packets from deliberately small domains so that state
+// entries collide across packets and the stateful paths get exercised.
+func randomPacket(rng *rand.Rand) pkt.Packet {
+	ip := func() values.Value {
+		return values.IPv4(10, 0, byte(1+rng.Intn(6)), byte(1+rng.Intn(3)))
+	}
+	flags := []string{"SYN", "SYN-ACK", "ACK", "FIN", "FIN-ACK", "RST", "PSH"}
+	frame := []string{"Iframe", "Bframe"}
+	p := pkt.New(map[pkt.Field]values.Value{
+		pkt.Inport:        values.Int(int64(1 + rng.Intn(6))),
+		pkt.SrcIP:         ip(),
+		pkt.DstIP:         ip(),
+		pkt.SrcPort:       values.Int([]int64{20, 21, 53, 80, 1234}[rng.Intn(5)]),
+		pkt.DstPort:       values.Int([]int64{20, 21, 53, 80, 1234}[rng.Intn(5)]),
+		pkt.Proto:         values.Int([]int64{6, 17}[rng.Intn(2)]),
+		pkt.TCPFlags:      values.String(flags[rng.Intn(len(flags))]),
+		pkt.DNSQName:      values.String([]string{"a.com", "b.com"}[rng.Intn(2)]),
+		pkt.DNSRData:      ip(),
+		pkt.DNSTTL:        values.Int(int64(rng.Intn(3))),
+		pkt.FTPPort:       values.Int(int64(2000 + rng.Intn(2))),
+		pkt.SMTPMTA:       values.String([]string{"mta1", "mta2"}[rng.Intn(2)]),
+		pkt.HTTPUserAgent: values.String([]string{"ua1", "ua2"}[rng.Intn(2)]),
+		pkt.MPEGFrameType: values.String(frame[rng.Intn(len(frame))]),
+		pkt.SessionID:     values.Int(int64(rng.Intn(3))),
+		pkt.Content:       values.String([]string{"Kindle/3.0+", "other"}[rng.Intn(2)]),
+	})
+	return p
+}
+
+// checkEquiv runs a packet trace through the formal semantics and the
+// compiled xFDD, requiring identical packet sets and final stores at every
+// step.
+func checkEquiv(t *testing.T, name string, p syntax.Policy, trace []pkt.Packet) {
+	t.Helper()
+	d, _, err := xfdd.Translate(p)
+	if err != nil {
+		t.Fatalf("%s: translate: %v", name, err)
+	}
+	semStore := state.NewStore()
+	fddStore := state.NewStore()
+	for i, in := range trace {
+		want, err := semantics.Eval(p, semStore, in)
+		if err != nil {
+			t.Fatalf("%s: eval packet %d: %v", name, i, err)
+		}
+		gotPkts, gotStore, err := d.Eval(fddStore, in)
+		if err != nil {
+			t.Fatalf("%s: xfdd eval packet %d: %v", name, i, err)
+		}
+		if !samePacketSet(want.Packets, gotPkts) {
+			t.Fatalf("%s: packet %d (%v): semantics produced %v, xFDD produced %v\nxFDD:\n%s",
+				name, i, in, want.Packets, gotPkts, d)
+		}
+		if !want.Store.Equal(gotStore) {
+			t.Fatalf("%s: packet %d (%v): store mismatch\nsemantics:\n%s\nxFDD:\n%s\ndiagram:\n%s",
+				name, i, in, want.Store, gotStore, d)
+		}
+		semStore = want.Store
+		fddStore = gotStore
+	}
+}
+
+func samePacketSet(a, b []pkt.Packet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]pkt.Packet(nil), a...)
+	bs := append([]pkt.Packet(nil), b...)
+	pkt.SortKeys(as)
+	pkt.SortKeys(bs)
+	for i := range as {
+		if !as[i].Equal(bs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAppEquivalence checks, for every catalogued application, that the
+// xFDD translation is semantically equivalent to the eval specification on
+// randomized stateful traces.
+func TestAppEquivalence(t *testing.T) {
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			p, err := app.Policy()
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			rng := rand.New(rand.NewSource(42))
+			trace := make([]pkt.Packet, 200)
+			for i := range trace {
+				trace[i] = randomPacket(rng)
+			}
+			checkEquiv(t, app.Name, p, trace)
+		})
+	}
+}
+
+// TestComposedEquivalence checks the paper's running composition:
+// (DNS-tunnel-detect + count[inport]++); assign-egress.
+func TestComposedEquivalence(t *testing.T) {
+	p := syntax.Then(
+		syntax.Par(apps.DNSTunnelDetect(), apps.Monitor()),
+		apps.AssignEgress(6),
+	)
+	rng := rand.New(rand.NewSource(7))
+	trace := make([]pkt.Packet, 300)
+	for i := range trace {
+		trace[i] = randomPacket(rng)
+	}
+	checkEquiv(t, "composed", p, trace)
+}
+
+// TestAssumptionComposition checks assumption; program composition used by
+// the packet-state mapping.
+func TestAssumptionComposition(t *testing.T) {
+	p := syntax.Then(
+		apps.Assumption(6),
+		syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(6)),
+	)
+	rng := rand.New(rand.NewSource(11))
+	trace := make([]pkt.Packet, 200)
+	for i := range trace {
+		in := randomPacket(rng)
+		// Half the packets honor the assumption (inport matches source
+		// subnet), half do not.
+		if rng.Intn(2) == 0 {
+			src := in.Field(pkt.SrcIP)
+			in = in.With(pkt.Inport, values.Int(int64(byte(src.Num>>8))))
+		}
+		trace[i] = in
+	}
+	checkEquiv(t, "assumption", p, trace)
+}
+
+// TestRaceDetection verifies the compiler rejects ambiguous parallel state
+// updates (§2.1, §4.2).
+func TestRaceDetection(t *testing.T) {
+	// (s[0] <- 1) + (s[0] <- 2): write/write race.
+	p := syntax.Par(
+		syntax.WriteState("s", syntax.V(values.Int(0)), syntax.V(values.Int(1))),
+		syntax.WriteState("s", syntax.V(values.Int(0)), syntax.V(values.Int(2))),
+	)
+	if _, _, err := xfdd.Translate(p); err == nil {
+		t.Fatalf("expected race error for parallel writes to the same variable")
+	}
+
+	// Distinct variables: fine.
+	q := syntax.Par(
+		syntax.WriteState("s", syntax.V(values.Int(0)), syntax.V(values.Int(1))),
+		syntax.WriteState("t", syntax.V(values.Int(0)), syntax.V(values.Int(2))),
+	)
+	if _, _, err := xfdd.Translate(q); err != nil {
+		t.Fatalf("unexpected error for disjoint parallel writes: %v", err)
+	}
+
+	// The paper's §3 example: (f <- 1 + f <- 2); s[0] <- f — the multicast
+	// copies write s[0] differently.
+	r := syntax.Then(
+		syntax.Par(
+			syntax.Assign(pkt.SrcPort, values.Int(1)),
+			syntax.Assign(pkt.SrcPort, values.Int(2)),
+		),
+		syntax.WriteState("s", syntax.V(values.Int(0)), syntax.F(pkt.SrcPort)),
+	)
+	if _, _, err := xfdd.Translate(r); err == nil {
+		t.Fatalf("expected race error for multicast writes to s[0]")
+	}
+
+	// But a pure field modification after the multicast is fine: p; g <- 3.
+	ok := syntax.Then(
+		syntax.Par(
+			syntax.Assign(pkt.SrcPort, values.Int(1)),
+			syntax.Assign(pkt.SrcPort, values.Int(2)),
+		),
+		syntax.Assign(pkt.DstPort, values.Int(3)),
+	)
+	if _, _, err := xfdd.Translate(ok); err != nil {
+		t.Fatalf("unexpected error for multicast + field modify: %v", err)
+	}
+
+	// Guarded parallel writes on disjoint packet spaces must NOT be
+	// rejected: contexts prune the contradictory merge.
+	g := syntax.Par(
+		syntax.Cond(syntax.FieldEq(pkt.SrcPort, values.Int(1)),
+			syntax.WriteState("s", syntax.V(values.Int(0)), syntax.V(values.Int(1))), syntax.Id()),
+		syntax.Cond(syntax.FieldEq(pkt.SrcPort, values.Int(2)),
+			syntax.WriteState("s", syntax.V(values.Int(0)), syntax.V(values.Int(2))), syntax.Id()),
+	)
+	if _, _, err := xfdd.Translate(g); err != nil {
+		t.Fatalf("unexpected race error for disjoint guarded writes: %v", err)
+	}
+}

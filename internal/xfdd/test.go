@@ -1,0 +1,203 @@
+// Package xfdd implements SNAP's intermediate representation: extended
+// forwarding decision diagrams (§4.2, Figures 6–8 and Appendix E of the
+// paper). An xFDD is either a branch (t ? d1 : d2) or a leaf holding a set
+// of action sequences. Tests come in three kinds — field-value, field-field
+// and state tests — and every path respects a fixed total order:
+// field-value < field-field < state, with state tests ordered by the
+// dependency order of their variables.
+package xfdd
+
+import (
+	"fmt"
+	"strings"
+
+	"snap/internal/pkt"
+	"snap/internal/syntax"
+	"snap/internal/values"
+)
+
+// Test is an xFDD branch test t.
+type Test interface {
+	isTest()
+	fmt.Stringer
+	// key is a canonical encoding used for ordering within a kind.
+	key() string
+}
+
+// FVTest is the field-value test f = v (v may be an IP prefix).
+type FVTest struct {
+	Field pkt.Field
+	Val   values.Value
+}
+
+// FFTest is the field-field test f1 = f2, the first xFDD extension. The
+// constructor normalizes operand order so f1 < f2.
+type FFTest struct {
+	F1, F2 pkt.Field
+}
+
+// STest is the state test s[idx] = val, the second xFDD extension. Idx is
+// the flattened index component list; Val is a scalar expression.
+type STest struct {
+	Var string
+	Idx []syntax.Expr
+	Val syntax.Expr
+}
+
+func (FVTest) isTest() {}
+func (FFTest) isTest() {}
+func (STest) isTest()  {}
+
+func (t FVTest) String() string { return fmt.Sprintf("%s = %s", t.Field, t.Val) }
+func (t FFTest) String() string { return fmt.Sprintf("%s = %s", t.F1, t.F2) }
+func (t STest) String() string {
+	var b strings.Builder
+	b.WriteString(t.Var)
+	for _, e := range t.Idx {
+		fmt.Fprintf(&b, "[%s]", e)
+	}
+	fmt.Fprintf(&b, " = %s", t.Val)
+	return b.String()
+}
+
+func (t FVTest) key() string { return fmt.Sprintf("%03d=%s", t.Field, t.Val.Key()) }
+func (t FFTest) key() string { return fmt.Sprintf("%03d=%03d", t.F1, t.F2) }
+func (t STest) key() string {
+	return t.Var + IndexKey(t.Idx) + "=" + ExprKey(t.Val)
+}
+
+// NewFF builds a normalized field-field test.
+func NewFF(a, b pkt.Field) FFTest {
+	if b < a {
+		a, b = b, a
+	}
+	return FFTest{F1: a, F2: b}
+}
+
+// SameTest reports whether two tests are identical.
+func SameTest(a, b Test) bool {
+	return testCategory(a) == testCategory(b) && a.key() == b.key()
+}
+
+func testCategory(t Test) int {
+	switch t.(type) {
+	case FVTest:
+		return 0
+	case FFTest:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Orderer fixes the total order (<) on tests. VarPos gives the dependency
+// position of each state variable (deps.Order.Pos); variables not present
+// sort after known ones by name.
+type Orderer struct {
+	VarPos map[string]int
+}
+
+// Compare returns -1, 0, or +1 as a comes before, equals, or follows b in
+// the total test order.
+func (o Orderer) Compare(a, b Test) int {
+	ca, cb := testCategory(a), testCategory(b)
+	if ca != cb {
+		return sign(ca - cb)
+	}
+	if ca == 2 {
+		sa, sb := a.(STest), b.(STest)
+		pa, oka := o.VarPos[sa.Var]
+		pb, okb := o.VarPos[sb.Var]
+		switch {
+		case oka && okb && pa != pb:
+			return sign(pa - pb)
+		case oka != okb:
+			if oka {
+				return -1
+			}
+			return 1
+		case !oka && !okb && sa.Var != sb.Var:
+			return strings.Compare(sa.Var, sb.Var)
+		}
+	}
+	return strings.Compare(a.key(), b.key())
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// --- Expression helpers ---
+
+// FlattenExpr normalizes an index expression into scalar components
+// (constants and field references).
+func FlattenExpr(e syntax.Expr) []syntax.Expr {
+	switch x := e.(type) {
+	case syntax.TupleExpr:
+		var out []syntax.Expr
+		for _, el := range x.Elems {
+			out = append(out, FlattenExpr(el)...)
+		}
+		return out
+	default:
+		return []syntax.Expr{e}
+	}
+}
+
+// ExprKey is a canonical encoding of a scalar expression.
+func ExprKey(e syntax.Expr) string {
+	switch x := e.(type) {
+	case syntax.Const:
+		return "v(" + x.Val.Key() + ")"
+	case syntax.FieldRef:
+		return fmt.Sprintf("f(%03d)", x.Field)
+	case syntax.TupleExpr:
+		return IndexKey(x.Elems)
+	default:
+		return fmt.Sprintf("?%T", e)
+	}
+}
+
+// IndexKey is a canonical encoding of an index component list.
+func IndexKey(idx []syntax.Expr) string {
+	parts := make([]string, len(idx))
+	for i, e := range idx {
+		parts[i] = ExprKey(e)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// SubstExpr substitutes known constant field values into an expression.
+func SubstExpr(e syntax.Expr, fmap map[pkt.Field]values.Value) syntax.Expr {
+	switch x := e.(type) {
+	case syntax.FieldRef:
+		if v, ok := fmap[x.Field]; ok {
+			return syntax.Const{Val: v}
+		}
+		return x
+	case syntax.TupleExpr:
+		out := make([]syntax.Expr, len(x.Elems))
+		for i, el := range x.Elems {
+			out[i] = SubstExpr(el, fmap)
+		}
+		return syntax.TupleExpr{Elems: out}
+	default:
+		return e
+	}
+}
+
+// SubstIdx applies SubstExpr to each index component.
+func SubstIdx(idx []syntax.Expr, fmap map[pkt.Field]values.Value) []syntax.Expr {
+	out := make([]syntax.Expr, len(idx))
+	for i, e := range idx {
+		out[i] = SubstExpr(e, fmap)
+	}
+	return out
+}
