@@ -141,6 +141,52 @@ func BenchmarkFig11PolicyScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkXFDDCompose isolates phase P2 on the Figure 11 workload: k
+// Table 3 programs composed in parallel and sequenced with assign-egress.
+// This is the hot path the hash-consed node store and the apply caches
+// target — repeated subproblems across the parallel merge are solved once.
+func BenchmarkXFDDCompose(b *testing.B) {
+	for _, k := range []int{4, 8, 12} {
+		k := k
+		b.Run(fmt.Sprintf("policies-%d", k), func(b *testing.B) {
+			policy, err := bench.ComposedPolicy(k, 30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := xfdd.Translate(policy); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModelRefresh compares a full P4 model build against
+// place.Model.Refresh for a shifted traffic matrix on the largest Table 5
+// campus topology — the incremental path TopoTMChange takes.
+func BenchmarkModelRefresh(b *testing.B) {
+	t, err := topo.Named("Purdue", bench.CI.Capacity, bench.CI.PortScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm1 := traffic.Gravity(t, 100, 1)
+	tm2 := traffic.Gravity(t, 100, 2)
+	b.Run("ColdBuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			place.NewModel(t, tm2, place.Options{Method: place.Heuristic})
+		}
+	})
+	b.Run("Refresh", func(b *testing.B) {
+		model := place.NewModel(t, tm1, place.Options{Method: place.Heuristic})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			model.Refresh(tm2)
+		}
+	})
+}
+
 // BenchmarkXFDDTranslation isolates phase P2 for representative programs.
 func BenchmarkXFDDTranslation(b *testing.B) {
 	for _, name := range []string{"dns-tunnel-detect", "stateful-firewall", "tcp-state-machine"} {

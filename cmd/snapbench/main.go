@@ -7,24 +7,48 @@
 //
 //	snapbench -exp table5 -scale full
 //	snapbench -exp all    -scale ci
+//	snapbench -exp all    -scale ci -json BENCH.json
+//
+// With -json, the rows of every experiment run are also written to the
+// given file as a machine-readable report (durations in nanoseconds), so
+// successive revisions have a perf trajectory to compare against.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"snap/internal/bench"
 )
 
+// report is the machine-readable counterpart of the printed tables.
+type report struct {
+	Scale       string         `json:"scale"`
+	GeneratedAt string         `json:"generated_at"`
+	GoVersion   string         `json:"go_version"`
+	Experiments map[string]any `json:"experiments"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|all")
 	scaleName := flag.String("scale", "ci", "scale preset: ci|full")
+	jsonPath := flag.String("json", "", "also write the collected rows as JSON to this file (e.g. BENCH.json)")
 	flag.Parse()
 
 	scale := bench.CI
 	if *scaleName == "full" {
 		scale = bench.Full
+	}
+
+	rep := report{
+		Scale:       scale.Name,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Experiments: map[string]any{},
 	}
 
 	run := func(name string) error {
@@ -34,24 +58,28 @@ func main() {
 			if err != nil {
 				return err
 			}
+			rep.Experiments[name] = rows
 			fmt.Printf("== Table 3: applications written in SNAP ==\n%s\n", bench.FormatTable3(rows))
 		case "table4":
-			out, err := bench.Table4(scale)
+			rows, err := bench.Table4Rows(scale)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("== Table 4: compiler phases per scenario ==\n%s\n", out)
+			rep.Experiments[name] = rows
+			fmt.Printf("== Table 4: compiler phases per scenario ==\n%s\n", bench.FormatTable4(rows))
 		case "table5":
 			rows, err := bench.Table5(scale)
 			if err != nil {
 				return err
 			}
+			rep.Experiments[name] = rows
 			fmt.Printf("== Table 5: evaluated topologies (scale=%s) ==\n%s\n", scale.Name, bench.FormatTable5(rows))
 		case "table6":
 			rows, err := bench.Table6(scale)
 			if err != nil {
 				return err
 			}
+			rep.Experiments[name] = rows
 			fmt.Printf("== Table 6: phase runtimes, DNS-tunnel-detect with routing (scale=%s) ==\n%s\n",
 				scale.Name, bench.FormatTable6(rows))
 		case "fig9":
@@ -59,6 +87,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			rep.Experiments[name] = rows
 			fmt.Printf("== Figure 9: compilation time per scenario (scale=%s) ==\n%s\n",
 				scale.Name, bench.FormatFig9(rows))
 		case "fig10":
@@ -66,6 +95,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			rep.Experiments[name] = rows
 			fmt.Printf("== Figure 10: scaling with topology size (scale=%s) ==\n%s\n",
 				scale.Name, bench.FormatFig10(rows))
 		case "fig11":
@@ -73,6 +103,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			rep.Experiments[name] = rows
 			fmt.Printf("== Figure 11: scaling with composed policies (scale=%s) ==\n%s\n",
 				scale.Name, bench.FormatFig11(rows))
 		default:
@@ -90,5 +121,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "snapbench: %s: %v\n", n, err)
 			os.Exit(1)
 		}
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: marshal report: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments, scale=%s)\n", *jsonPath, len(rep.Experiments), rep.Scale)
 	}
 }

@@ -1,0 +1,3 @@
+module snap
+
+go 1.24

@@ -334,33 +334,35 @@ func FormatFig11(rows []Fig11Row) string {
 
 // --- Table 4: phases per scenario ---
 
-// Table4 reports which phases each scenario executed, derived from the
-// actual timings of a small run (a checkmark matrix like the paper's).
-func Table4(s Scale) (string, error) {
+// Table4Row is one phase of the scenario/phase checkmark matrix: whether
+// each recompilation scenario executed it.
+type Table4Row struct {
+	Phase     string
+	TopoTM    bool
+	PolicyChg bool
+	ColdStart bool
+}
+
+// Table4Rows derives which phases each scenario executed from the actual
+// timings of a small run — the structured counterpart of the paper's
+// checkmark matrix.
+func Table4Rows(s Scale) ([]Table4Row, error) {
 	t := topo.IGen(12, s.Capacity)
 	policy := dnsTunnelPolicy(len(t.Ports))
 	tm := traffic.Gravity(t, s.Traffic, 1)
 	cold, err := core.ColdStart(policy, t, tm, place.Options{Method: place.Heuristic})
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	policyRun, err := cold.PolicyChange(policy)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	teRun, err := cold.TopoTMChange(tm)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	mark := func(d time.Duration) string {
-		if d > 0 {
-			return "x"
-		}
-		return "-"
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-28s %-12s %-12s %-10s\n", "Phase", "Topo/TM", "PolicyChg", "ColdStart")
-	rows := []struct {
+	phases := []struct {
 		name string
 		get  func(core.PhaseTimes) time.Duration
 	}{
@@ -371,11 +373,42 @@ func Table4(s Scale) (string, error) {
 		{"P5 solving (ST or TE)", func(t core.PhaseTimes) time.Duration { return t.P5Solve }},
 		{"P6 rule generation", func(t core.PhaseTimes) time.Duration { return t.P6Rules }},
 	}
+	rows := make([]Table4Row, 0, len(phases))
+	for _, p := range phases {
+		rows = append(rows, Table4Row{
+			Phase:     p.name,
+			TopoTM:    p.get(teRun.Times) > 0,
+			PolicyChg: p.get(policyRun.Times) > 0,
+			ColdStart: p.get(cold.Times) > 0,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders the checkmark matrix in the paper's layout.
+func FormatTable4(rows []Table4Row) string {
+	mark := func(x bool) string {
+		if x {
+			return "x"
+		}
+		return "-"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-12s %-12s %-10s\n", "Phase", "Topo/TM", "PolicyChg", "ColdStart")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-28s %-12s %-12s %-10s\n",
-			r.name, mark(r.get(teRun.Times)), mark(r.get(policyRun.Times)), mark(r.get(cold.Times)))
+			r.Phase, mark(r.TopoTM), mark(r.PolicyChg), mark(r.ColdStart))
 	}
-	return b.String(), nil
+	return b.String()
+}
+
+// Table4 reports the scenario/phase matrix as rendered text.
+func Table4(s Scale) (string, error) {
+	rows, err := Table4Rows(s)
+	if err != nil {
+		return "", err
+	}
+	return FormatTable4(rows), nil
 }
 
 // --- Table 3: expressiveness ---

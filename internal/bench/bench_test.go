@@ -95,10 +95,13 @@ func TestTable6CIScale(t *testing.T) {
 		if r.Cold <= 0 || r.Policy <= 0 || r.TopoTM <= 0 {
 			t.Errorf("%s: zero scenario time", r.Name)
 		}
-		// Scenario containment: topo/TM change does strictly less work
-		// than cold start.
-		if r.TopoTM > r.Cold*2 {
-			t.Errorf("%s: topo/TM (%v) slower than 2x cold start (%v)", r.Name, r.TopoTM, r.Cold)
+		// Scenario containment: a topology/TM change reuses the model's
+		// topology precomputation (place.Model.Refresh) and re-runs only
+		// TE solving and rule generation, so it must beat a cold start
+		// outright — the paper's "few milliseconds of incremental
+		// updates" (§6.2).
+		if r.TopoTM >= r.Cold {
+			t.Errorf("%s: topo/TM (%v) not faster than cold start (%v)", r.Name, r.TopoTM, r.Cold)
 		}
 	}
 }

@@ -159,10 +159,11 @@ func (c *Compilation) TopoTMChange(demands traffic.Matrix) (*Compilation, error)
 	}
 
 	start := time.Now()
-	n.Model = place.NewModel(c.Topo, demands, c.Opts)
+	n.Model = c.Model.Refresh(demands)
 	modelTime := time.Since(start)
-	// Model refresh under a new matrix is the "few milliseconds of
-	// incremental updates" of §6.2; it is accounted inside P5 here.
+	// Refresh reuses the topology-dependent precomputation (shortest paths,
+	// port structure) and swaps only the demand-dependent terms — the "few
+	// milliseconds of incremental updates" of §6.2, accounted inside P5.
 
 	start = time.Now()
 	var err error

@@ -133,6 +133,18 @@ func NewModel(t *topo.Topology, demands traffic.Matrix, opts Options) *Model {
 	return m
 }
 
+// Refresh returns a model for a new traffic matrix that reuses every
+// topology-dependent precomputation (link weights, all-pairs shortest
+// paths, predecessor trees) of the receiver. Only the demand-dependent
+// terms change, so a topology/TM change pays none of the P4 rebuild cost —
+// the "few milliseconds of incremental updates" of §6.2. The receiver is
+// not modified and stays usable.
+func (m *Model) Refresh(demands traffic.Matrix) *Model {
+	n := *m
+	n.demands = demands
+	return &n
+}
+
 func (m *Model) inputs(mapping *psmap.Mapping, order *deps.Order) Inputs {
 	return Inputs{Topo: m.topo, Demands: m.demands, Mapping: mapping, Order: order}
 }
@@ -254,6 +266,27 @@ type solver struct {
 	weights []float64   // per-link routing weight
 	dist    [][]float64 // all-pairs distances under weights
 	prev    [][]int     // predecessor links per source
+	// seqs caches each pair's dependency-ordered waypoint sequence: the
+	// innermost placement cost loops consult it millions of times, so it is
+	// derived from the mapping exactly once per solve.
+	seqs map[[2]int][]string
+	// ends caches each pair's ingress/egress switch.
+	ends map[[2]int][2]topo.NodeID
+
+	// Dense placement index: stateful pairs and group locations as slices,
+	// so the local-search cost loops run on array arithmetic instead of
+	// string-keyed map lookups.
+	pinfos []pairInfo
+	gpairs [][]int // per group: indices into pinfos of pairs needing it
+	glocs  []topo.NodeID
+}
+
+// pairInfo is the placement view of one stateful demand pair: endpoint
+// switches and the group index of each waypoint, in dependency order.
+type pairInfo struct {
+	su, sv topo.NodeID
+	wps    []int32
+	demand float64
 }
 
 func (s *solver) computeAllDists() {
@@ -265,27 +298,116 @@ func (s *solver) computeAllDists() {
 	}
 }
 
+// prepare precomputes the per-pair waypoint sequences and endpoint
+// switches consulted by the cost loops.
+func (s *solver) prepare() {
+	s.seqs = s.in.Mapping.StateSeqs(s.in.Order)
+	s.ends = make(map[[2]int][2]topo.NodeID, len(s.in.Demands))
+	record := func(pr [2]int) {
+		if _, ok := s.ends[pr]; ok {
+			return
+		}
+		pu, _ := s.in.Topo.PortByID(pr[0])
+		pv, _ := s.in.Topo.PortByID(pr[1])
+		s.ends[pr] = [2]topo.NodeID{pu.Switch, pv.Switch}
+	}
+	for pr := range s.in.Demands {
+		record(pr)
+	}
+	for pr := range s.in.Mapping.Vars {
+		record(pr)
+	}
+}
+
 // pairSeq returns the state-variable sequence pair uv must traverse, in
 // dependency order, given the current placement (consecutive waypoints on
 // the same switch collapse naturally during routing).
 func (s *solver) pairSeq(u, v int) []string {
-	return s.in.Mapping.StateSeq(u, v, s.in.Order)
+	if s.seqs == nil {
+		s.seqs = s.in.Mapping.StateSeqs(s.in.Order)
+	}
+	return s.seqs[[2]int{u, v}]
 }
 
-// pathCost is the placement-evaluation cost of pair uv: the shortest
-// waypoint-ordered distance from su through the placed groups to sv.
-func (s *solver) pathCost(u, v int, loc map[string]topo.NodeID) float64 {
+// pairEnds returns the ingress and egress switches of pair uv.
+func (s *solver) pairEnds(u, v int) (topo.NodeID, topo.NodeID) {
+	if e, ok := s.ends[[2]int{u, v}]; ok {
+		return e[0], e[1]
+	}
 	pu, _ := s.in.Topo.PortByID(u)
 	pv, _ := s.in.Topo.PortByID(v)
-	cur := pu.Switch
+	return pu.Switch, pv.Switch
+}
+
+// indexPairs builds the dense placement index for the current groups: one
+// pairInfo per stateful mapping pair, each waypoint resolved to its group
+// index, plus the per-group reverse index.
+func (s *solver) indexPairs(groups []*group) {
+	varGroup := map[string]int32{}
+	for gi, g := range groups {
+		for _, v := range g.vars {
+			varGroup[v] = int32(gi)
+		}
+	}
+	s.glocs = make([]topo.NodeID, len(groups))
+	for gi, g := range groups {
+		s.glocs[gi] = g.node
+	}
+	pairs := make([][2]int, 0, len(s.in.Mapping.Vars))
+	for pr := range s.in.Mapping.Vars {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	s.pinfos = make([]pairInfo, len(pairs))
+	s.gpairs = make([][]int, len(groups))
+	for i, pr := range pairs {
+		su, sv := s.pairEnds(pr[0], pr[1])
+		seq := s.pairSeq(pr[0], pr[1])
+		wps := make([]int32, len(seq))
+		for j, v := range seq {
+			wps[j] = varGroup[v]
+		}
+		s.pinfos[i] = pairInfo{su: su, sv: sv, wps: wps, demand: s.in.Demands[pr]}
+		seen := map[int32]bool{}
+		for _, gi := range wps {
+			if !seen[gi] {
+				seen[gi] = true
+				s.gpairs[gi] = append(s.gpairs[gi], i)
+			}
+		}
+	}
+}
+
+// pathCostIdx is the placement-evaluation cost of one pair: the shortest
+// waypoint-ordered distance from its ingress through the placed groups to
+// its egress, under the current glocs.
+func (s *solver) pathCostIdx(p *pairInfo) float64 {
+	cur := p.su
 	total := 0.0
-	for _, sv := range s.pairSeq(u, v) {
-		n := loc[sv]
+	for _, gi := range p.wps {
+		n := s.glocs[gi]
 		total += s.dist[cur][n]
 		cur = n
 	}
-	total += s.dist[cur][pv.Switch]
-	return total
+	return total + s.dist[cur][p.sv]
+}
+
+// groupCost sums the demand-weighted path costs of the pairs needing one
+// group.
+func (s *solver) groupCost(gi int) float64 {
+	c := 0.0
+	for _, pi := range s.gpairs[gi] {
+		p := &s.pinfos[pi]
+		if p.demand > 0 {
+			c += p.demand * s.pathCostIdx(p)
+		}
+	}
+	return c
 }
 
 // solveHeuristicModel runs placement local search (unless fixed) and final
@@ -296,6 +418,7 @@ func solveHeuristicModel(m *Model, in Inputs, fixed map[string]topo.NodeID) (*Re
 	}
 	s := m.newSolver()
 	s.in = in
+	s.prepare()
 
 	groups := buildGroups(in)
 	loc := map[string]topo.NodeID{}
@@ -329,51 +452,28 @@ func solveHeuristicModel(m *Model, in Inputs, fixed map[string]topo.NodeID) (*Re
 	}, nil
 }
 
-// pairsNeeding indexes demand pairs by the state group they need.
-func (s *solver) pairsNeeding(g *group) [][2]int {
-	need := map[[2]int]bool{}
-	for _, v := range g.vars {
-		for pair, set := range s.in.Mapping.Vars {
-			if set[v] {
-				need[pair] = true
-			}
-		}
-	}
-	out := make([][2]int, 0, len(need))
-	for p := range need {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
-		}
-		return out[i][1] < out[j][1]
-	})
-	return out
-}
-
 // seedPlacement puts each group at its demand-weighted 1-median: the switch
 // minimizing Σ duv·(d(su,n)+d(n,sv)) over the pairs needing it.
 func (s *solver) seedPlacement(groups []*group, loc map[string]topo.NodeID) {
-	for _, g := range groups {
-		pairs := s.pairsNeeding(g)
+	if s.pinfos == nil {
+		s.indexPairs(groups)
+	}
+	for gi, g := range groups {
 		bestN, bestC := topo.NodeID(0), math.Inf(1)
 		for n := 0; n < s.in.Topo.Switches; n++ {
 			c := 0.0
-			for _, pr := range pairs {
-				d := s.in.Demands[pr]
-				if d == 0 {
-					continue
+			for _, pi := range s.gpairs[gi] {
+				p := &s.pinfos[pi]
+				if p.demand > 0 {
+					c += p.demand * (s.dist[p.su][n] + s.dist[n][p.sv])
 				}
-				pu, _ := s.in.Topo.PortByID(pr[0])
-				pv, _ := s.in.Topo.PortByID(pr[1])
-				c += d * (s.dist[pu.Switch][n] + s.dist[n][pv.Switch])
 			}
 			if c < bestC {
 				bestC, bestN = c, topo.NodeID(n)
 			}
 		}
 		g.node = bestN
+		s.glocs[gi] = bestN
 		for _, v := range g.vars {
 			loc[v] = bestN
 		}
@@ -383,23 +483,23 @@ func (s *solver) seedPlacement(groups []*group, loc map[string]topo.NodeID) {
 // improvePlacement hill-climbs group locations against the exact
 // waypoint-ordered path cost.
 func (s *solver) improvePlacement(groups []*group, loc map[string]topo.NodeID) {
+	if s.pinfos == nil {
+		s.indexPairs(groups)
+	}
 	for iter := 0; iter < s.opts.LocalIters; iter++ {
 		improved := false
-		for _, g := range groups {
-			pairs := s.pairsNeeding(g)
-			cur := s.totalCost(pairs, loc)
-			bestN, bestC := g.node, cur
+		for gi, g := range groups {
+			bestN, bestC := g.node, s.groupCost(gi)
 			for n := 0; n < s.in.Topo.Switches; n++ {
 				if topo.NodeID(n) == g.node {
 					continue
 				}
-				for _, v := range g.vars {
-					loc[v] = topo.NodeID(n)
-				}
-				if c := s.totalCost(pairs, loc); c < bestC-1e-12 {
+				s.glocs[gi] = topo.NodeID(n)
+				if c := s.groupCost(gi); c < bestC-1e-12 {
 					bestC, bestN = c, topo.NodeID(n)
 				}
 			}
+			s.glocs[gi] = bestN
 			for _, v := range g.vars {
 				loc[v] = bestN
 			}
@@ -412,16 +512,6 @@ func (s *solver) improvePlacement(groups []*group, loc map[string]topo.NodeID) {
 			return
 		}
 	}
-}
-
-func (s *solver) totalCost(pairs [][2]int, loc map[string]topo.NodeID) float64 {
-	c := 0.0
-	for _, pr := range pairs {
-		if d := s.in.Demands[pr]; d > 0 {
-			c += d * s.pathCost(pr[0], pr[1], loc)
-		}
-	}
-	return c
 }
 
 // route computes final paths for every demand pair under the current
@@ -468,14 +558,13 @@ func (s *solver) route(loc map[string]topo.NodeID) (map[[2]int]Route, float64, f
 // buildRoute threads pair uv through its placed waypoints and strips any
 // cycles that do not contain a waypoint visit.
 func (s *solver) buildRoute(u, v int, loc map[string]topo.NodeID) Route {
-	pu, _ := s.in.Topo.PortByID(u)
-	pv, _ := s.in.Topo.PortByID(v)
+	su, sv := s.pairEnds(u, v)
 	seq := s.pairSeq(u, v)
 
-	nodes := []topo.NodeID{pu.Switch}
+	nodes := []topo.NodeID{su}
 	var links []int
 	waypointAt := map[int]bool{0: false}
-	cur := pu.Switch
+	cur := su
 
 	hop := func(to topo.NodeID) {
 		if to == cur {
@@ -492,7 +581,7 @@ func (s *solver) buildRoute(u, v int, loc map[string]topo.NodeID) Route {
 		hop(loc[sv])
 		waypointAt[len(nodes)-1] = true
 	}
-	hop(pv.Switch)
+	hop(sv)
 
 	nodes, links = removeCycles(nodes, links, waypointAt)
 	return Route{Nodes: nodes, Links: links, Waypoints: seq}

@@ -32,12 +32,46 @@ type Mapping struct {
 // StateSeq returns the pair's variables in dependency order — the order in
 // which the flow must traverse them.
 func (m *Mapping) StateSeq(u, v int, order *deps.Order) []string {
-	set := m.Vars[[2]int{u, v}]
-	out := make([]string, 0, len(set))
-	for s := range set {
-		out = append(out, s)
+	return orderedVars(m.Vars[[2]int{u, v}], order)
+}
+
+// StateSeqs precomputes the dependency-ordered variable sequence for every
+// pair in the mapping. The placement solver evaluates pair sequences inside
+// its innermost cost loops; computing them once here (instead of a map-sort
+// per evaluation) is what keeps placement local search linear in the demand
+// count.
+func (m *Mapping) StateSeqs(order *deps.Order) map[[2]int][]string {
+	out := make(map[[2]int][]string, len(m.Vars))
+	for pair, set := range m.Vars {
+		out[pair] = orderedVars(set, order)
 	}
-	sort.Slice(out, func(i, j int) bool { return order.Pos[out[i]] < order.Pos[out[j]] })
+	return out
+}
+
+// orderedVars sorts a variable set by dependency position, looking each
+// position up once (the sets are tiny, so insertion sort on the decorated
+// pairs beats sort.Slice with map lookups in the comparator).
+func orderedVars(set map[string]bool, order *deps.Order) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	type decorated struct {
+		v   string
+		pos int
+	}
+	dec := make([]decorated, 0, len(set))
+	for s := range set {
+		dec = append(dec, decorated{v: s, pos: order.Pos[s]})
+	}
+	for i := 1; i < len(dec); i++ {
+		for j := i; j > 0 && dec[j].pos < dec[j-1].pos; j-- {
+			dec[j], dec[j-1] = dec[j-1], dec[j]
+		}
+	}
+	out := make([]string, len(dec))
+	for i, d := range dec {
+		out[i] = d.v
+	}
 	return out
 }
 
@@ -64,6 +98,10 @@ func (m *Mapping) Pairs() [][2]int {
 // ports (narrowed by inport tests) and the state variables read by tests on
 // the path; at each leaf, the variables written by each action sequence are
 // attributed to the flow(s) that sequence emits.
+//
+// Hash-consed diagrams are DAGs with heavily shared leaves; the walk keys a
+// memo map by leaf pointer so per-sequence facts (written variables, egress
+// ports) are derived once per unique leaf rather than once per path.
 func Build(d *xfdd.Diagram, ports []int) *Mapping {
 	m := &Mapping{
 		Vars: map[[2]int]map[string]bool{},
@@ -71,8 +109,35 @@ func Build(d *xfdd.Diagram, ports []int) *Mapping {
 	}
 	sorted := append([]int(nil), ports...)
 	sort.Ints(sorted)
-	walk(d, newPortSet(sorted), nil, sorted, m)
+	b := &builder{m: m, allPorts: sorted, leafInfo: map[*xfdd.Diagram][]leafEntry{}}
+	b.walk(d, newPortSet(sorted), nil)
 	return m
+}
+
+// builder carries the walk's memoized per-leaf facts.
+type builder struct {
+	m        *Mapping
+	allPorts []int
+	leafInfo map[*xfdd.Diagram][]leafEntry
+}
+
+// leafEntry caches what one leaf sequence contributes: the state variables
+// it writes and the egress ports its emitted packet(s) can take.
+type leafEntry struct {
+	writes []string
+	egress []int
+}
+
+func (b *builder) entriesOf(leaf *xfdd.Diagram) []leafEntry {
+	if e, ok := b.leafInfo[leaf]; ok {
+		return e
+	}
+	entries := make([]leafEntry, len(leaf.Seqs))
+	for i, seq := range leaf.Seqs {
+		entries[i] = leafEntry{writes: seq.StateVars(), egress: egressOf(seq, b.allPorts)}
+	}
+	b.leafInfo[leaf] = entries
+	return entries
 }
 
 // portSet tracks feasible inports as membership over the declared ports.
@@ -121,7 +186,7 @@ func (s portSet) list() []int {
 	return out
 }
 
-func walk(d *xfdd.Diagram, inports portSet, reads []string, allPorts []int, m *Mapping) {
+func (b *builder) walk(d *xfdd.Diagram, inports portSet, reads []string) {
 	if inports.empty() {
 		return
 	}
@@ -140,37 +205,33 @@ func walk(d *xfdd.Diagram, inports portSet, reads []string, allPorts []int, m *M
 				falseIn = inports.exclude(p)
 			}
 		}
-		walk(d.True, trueIn, readsHere, allPorts, m)
-		walk(d.False, falseIn, readsHere, allPorts, m)
+		b.walk(d.True, trueIn, readsHere)
+		b.walk(d.False, falseIn, readsHere)
 		return
 	}
 
-	for _, seq := range d.Seqs {
-		vars := map[string]bool{}
-		for _, r := range reads {
-			vars[r] = true
-		}
-		for _, w := range seq.StateVars() {
-			vars[w] = true
-		}
-		if len(vars) == 0 {
+	for _, entry := range b.entriesOf(d) {
+		if len(reads) == 0 && len(entry.writes) == 0 {
 			continue
 		}
-		egresses := egressOf(seq, allPorts)
 		for _, u := range inports.list() {
-			for _, v := range egresses {
+			for _, v := range entry.egress {
 				if u == v {
 					continue
 				}
 				key := [2]int{u, v}
-				set := m.Vars[key]
+				set := b.m.Vars[key]
 				if set == nil {
 					set = map[string]bool{}
-					m.Vars[key] = set
+					b.m.Vars[key] = set
 				}
-				for s := range vars {
+				for _, s := range reads {
 					set[s] = true
-					m.All[s] = true
+					b.m.All[s] = true
+				}
+				for _, s := range entry.writes {
+					set[s] = true
+					b.m.All[s] = true
 				}
 			}
 		}

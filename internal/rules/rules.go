@@ -15,6 +15,7 @@ package rules
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"snap/internal/netasm"
 	"snap/internal/place"
@@ -74,6 +75,17 @@ func Generate(d *xfdd.Diagram, t *topo.Topology, placement map[string]topo.NodeI
 
 	spNext := allPairsNextHop(t)
 
+	// Switches owning the same state-variable set compile to the same
+	// NetASM program (programs are immutable at runtime; state lives in the
+	// per-switch tables). With hash-consed diagrams most switches own no
+	// state at all, so the whole fleet shares a single stateless program
+	// compiled once.
+	type compiledProg struct {
+		prog  *netasm.Program
+		stats SwitchStats
+	}
+	progCache := map[string]compiledProg{}
+
 	for n := 0; n < t.Switches; n++ {
 		node := topo.NodeID(n)
 		owns := map[string]bool{}
@@ -88,12 +100,18 @@ func Generate(d *xfdd.Diagram, t *topo.Topology, placement map[string]topo.NodeI
 			RouteNext: map[[2]int]int{},
 			SPNext:    spNext[n],
 		}
-		prog, stats, err := compileProgram(d, ids, owns)
-		if err != nil {
-			return nil, err
+		ck := ownsKey(owns)
+		cp, ok := progCache[ck]
+		if !ok {
+			prog, stats, err := compileProgram(d, ids, owns)
+			if err != nil {
+				return nil, err
+			}
+			cp = compiledProg{prog: prog, stats: stats}
+			progCache[ck] = cp
 		}
-		sc.Prog = prog
-		sc.Stats = stats
+		sc.Prog = cp.prog
+		sc.Stats = cp.stats
 		cfg.Switches[node] = sc
 	}
 
@@ -120,6 +138,19 @@ func Generate(d *xfdd.Diagram, t *topo.Topology, placement map[string]topo.NodeI
 		}
 	}
 	return cfg, nil
+}
+
+// ownsKey is a canonical signature of an ownership set.
+func ownsKey(owns map[string]bool) string {
+	if len(owns) == 0 {
+		return ""
+	}
+	vars := make([]string, 0, len(owns))
+	for v := range owns {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return strings.Join(vars, "\x00")
 }
 
 // numberNodes assigns dense ids in DFS preorder.

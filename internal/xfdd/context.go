@@ -27,6 +27,21 @@ type Context struct {
 	neq    map[[2]pkt.Field]bool
 	// st maps resolved canonical state tests to their recorded outcome.
 	st map[string]bool
+
+	// store/id tie the context into a translator's hash-consing store:
+	// contexts with a store carry a unique id used in the apply-cache keys,
+	// and With extensions are memoized so identical extension chains from
+	// the shared root yield pointer-identical contexts (canonical context
+	// identity). Contexts built via the public NewContext have no store and
+	// id 0, which the caches treat as "never cacheable".
+	store    *Store
+	id       uint64
+	withMemo map[withKey]*Context
+}
+
+type withKey struct {
+	test    int32
+	outcome bool
 }
 
 // NewContext returns an empty context.
@@ -41,8 +56,20 @@ func NewContext() *Context {
 	}
 }
 
+// newStoreContext builds the store's root context (id 1-based).
+func newStoreContext(st *Store) *Context {
+	c := NewContext()
+	c.store = st
+	c.id = st.nextCtxID()
+	return c
+}
+
 func (c *Context) clone() *Context {
 	n := NewContext()
+	if c.store != nil {
+		n.store = c.store
+		n.id = c.store.nextCtxID()
+	}
 	for k, v := range c.vals {
 		n.vals[k] = v
 	}
@@ -87,8 +114,29 @@ func (c *Context) KnownValue(f pkt.Field) (values.Value, bool) {
 }
 
 // With returns c extended with the outcome of a test. Recording a test the
-// context already decides is harmless.
+// context already decides is harmless. On store-bound contexts the
+// extension is memoized: the same (test, outcome) extension of the same
+// context returns the same object, keeping context identity canonical for
+// the composition caches.
 func (c *Context) With(t Test, outcome bool) *Context {
+	var mk withKey
+	if c.store != nil {
+		mk = withKey{test: c.store.TestID(t), outcome: outcome}
+		if n, ok := c.withMemo[mk]; ok {
+			return n
+		}
+	}
+	n := c.extend(t, outcome)
+	if c.store != nil {
+		if c.withMemo == nil {
+			c.withMemo = map[withKey]*Context{}
+		}
+		c.withMemo[mk] = n
+	}
+	return n
+}
+
+func (c *Context) extend(t Test, outcome bool) *Context {
 	n := c.clone()
 	switch x := t.(type) {
 	case FVTest:

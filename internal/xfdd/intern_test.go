@@ -1,0 +1,164 @@
+package xfdd_test
+
+import (
+	"testing"
+
+	"snap/internal/apps"
+	"snap/internal/deps"
+	"snap/internal/pkt"
+	"snap/internal/syntax"
+	"snap/internal/values"
+	"snap/internal/xfdd"
+)
+
+// TestInternCanonicalLeaves: the canonical id/drop leaves are pointer-equal
+// within one translator's store, and carry nonzero node ids.
+func TestInternCanonicalLeaves(t *testing.T) {
+	tr := xfdd.NewTranslator(deps.OrderOf(syntax.Id()))
+	st := tr.Store()
+
+	if st.IDLeaf() != st.IDLeaf() {
+		t.Fatal("IDLeaf not canonical")
+	}
+	if st.DropLeaf() != st.DropLeaf() {
+		t.Fatal("DropLeaf not canonical")
+	}
+	if st.IDLeaf() == st.DropLeaf() {
+		t.Fatal("id and drop leaves collapsed")
+	}
+	if st.IDLeaf().NodeID() == 0 || st.DropLeaf().NodeID() == 0 {
+		t.Fatal("canonical leaves must be interned (nonzero ids)")
+	}
+	if !st.IDLeaf().IsID() || !st.DropLeaf().IsDrop() {
+		t.Fatal("canonical leaves misclassified")
+	}
+}
+
+// TestInternStructuralEquality: structurally equal leaves and branches
+// intern to the same node, regardless of construction order, and Eq-equal
+// values (True ≡ 1) share identity exactly as the leaf canonicalization
+// demands.
+func TestInternStructuralEquality(t *testing.T) {
+	tr := xfdd.NewTranslator(deps.OrderOf(syntax.Id()))
+	st := tr.Store()
+
+	mod := xfdd.Action{Kind: xfdd.ActModify, Field: pkt.Outport, Val: values.Int(1)}
+	incr := xfdd.Action{Kind: xfdd.ActIncr, Var: "c", Idx: []syntax.Expr{syntax.F(pkt.SrcIP)}}
+
+	l1 := st.Leaf([]xfdd.ActionSeq{{mod}, {incr}})
+	l2 := st.Leaf([]xfdd.ActionSeq{{incr}, {mod}}) // same set, different order
+	if l1 != l2 {
+		t.Fatal("structurally equal leaves interned to distinct nodes")
+	}
+	if l1.NodeID() == 0 {
+		t.Fatal("interned leaf has id 0")
+	}
+
+	// Duplicate sequences dedupe to one.
+	if l3 := st.Leaf([]xfdd.ActionSeq{{mod}, {mod}}); len(l3.Seqs) != 1 {
+		t.Fatalf("duplicate sequences kept: %v", l3.Seqs)
+	}
+
+	// Bool/Int coercion: f <- True and f <- 1 are Eq-equal actions.
+	bt := st.Leaf([]xfdd.ActionSeq{{xfdd.Action{Kind: xfdd.ActModify, Field: pkt.SrcPort, Val: values.Bool(true)}}})
+	it := st.Leaf([]xfdd.ActionSeq{{xfdd.Action{Kind: xfdd.ActModify, Field: pkt.SrcPort, Val: values.Int(1)}}})
+	if bt != it {
+		t.Fatal("Eq-coercible values interned to distinct leaves")
+	}
+
+	test := xfdd.FVTest{Field: pkt.SrcPort, Val: values.Int(5)}
+	b1 := st.Branch(test, l1, st.DropLeaf())
+	b2 := st.Branch(test, l2, st.DropLeaf())
+	if b1 != b2 {
+		t.Fatal("structurally equal branches interned to distinct nodes")
+	}
+	// The BDD reduction: a branch with identical children is its child.
+	if st.Branch(test, l1, l1) != l1 {
+		t.Fatal("redundant branch not collapsed")
+	}
+}
+
+// TestInternTranslationIdempotent: translating the same policy twice with
+// one translator yields the identical root pointer — the unique table makes
+// structural equality O(1).
+func TestInternTranslationIdempotent(t *testing.T) {
+	p := syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(6))
+	order := deps.OrderOf(p)
+	tr := xfdd.NewTranslator(order)
+	d1, err := tr.ToXFDD(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := tr.ToXFDD(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("re-translation did not hit the unique table")
+	}
+}
+
+// TestInternSharedSubgraphs: a translated diagram is a DAG whose Size
+// (unique nodes) can be far below its path-tree size; sanity-check that
+// sharing exists on a real workload and that every node is interned.
+func TestInternSharedSubgraphs(t *testing.T) {
+	p := syntax.Then(
+		apps.Assumption(6),
+		syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(6)),
+	)
+	d, _, err := xfdd.Translate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	unique := map[*xfdd.Diagram]bool{}
+	treeNodes := 0
+	var walk func(*xfdd.Diagram)
+	walk = func(n *xfdd.Diagram) {
+		if n == nil {
+			return
+		}
+		treeNodes++
+		if n.NodeID() == 0 {
+			t.Fatalf("translated node not interned: %v", n.Test)
+		}
+		unique[n] = true
+		if !n.IsLeaf() {
+			walk(n.True)
+			walk(n.False)
+		}
+	}
+	walk(d)
+
+	if got := d.Size(); got != len(unique) {
+		t.Fatalf("Size() = %d, want unique node count %d", got, len(unique))
+	}
+	if treeNodes <= len(unique) {
+		t.Fatalf("no sharing on the running composition: %d tree nodes, %d unique", treeNodes, len(unique))
+	}
+}
+
+// TestInternLeafSetsAreCanonical: every leaf of a translated diagram holds
+// deduplicated sequences with pure-drop members absorbed (the Store.Leaf
+// normalization applied throughout composition).
+func TestInternLeafSetsAreCanonical(t *testing.T) {
+	for _, a := range apps.All() {
+		p, err := a.Policy()
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		d, _, err := xfdd.Translate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		d.Leaves(func(l *xfdd.Diagram) {
+			if len(l.Seqs) > 1 {
+				for _, s := range l.Seqs {
+					if len(s) == 1 && s[0].Kind == xfdd.ActDrop {
+						t.Errorf("%s: pure drop kept in multi-sequence leaf {%v}", a.Name, l)
+					}
+				}
+			}
+		})
+	}
+}

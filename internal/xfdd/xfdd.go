@@ -140,11 +140,29 @@ func (s ActionSeq) StateVars() []string {
 // Diagram is an xFDD node: a branch when Test != nil, otherwise a leaf with
 // a set of action sequences. The canonical drop leaf holds the single
 // sequence [drop]; a leaf with one empty sequence is the identity.
+//
+// Nodes produced by a translator are hash-consed (see Store): structurally
+// equal nodes are pointer-equal, diagrams are DAGs rather than trees, and
+// every node carries a store-scoped integer id. Hand-built nodes have id 0
+// ("not interned") and still behave as plain trees.
 type Diagram struct {
 	Test        Test
 	True, False *Diagram
 	Seqs        []ActionSeq
+
+	// id is the hash-consing identity (1-based, 0 = not interned).
+	id uint64
+	// testID is the interned id of Test on interned branches.
+	testID int32
+	// seqIDs holds the interned ids of Seqs on interned leaves, parallel
+	// to Seqs.
+	seqIDs []uint32
 }
+
+// NodeID returns the hash-consing identity of the node: nodes from the same
+// translator are structurally equal iff their ids are equal. 0 means the
+// node was built by hand and is not interned.
+func (d *Diagram) NodeID() uint64 { return d.id }
 
 // IsLeaf reports whether d is a leaf node.
 func (d *Diagram) IsLeaf() bool { return d.Test == nil }
@@ -211,49 +229,52 @@ func canonSeqs(seqs []ActionSeq) []ActionSeq {
 	return out
 }
 
-// branch builds a branch node, collapsing it when both sides are identical
-// leaves (the standard BDD reduction).
-func branch(t Test, tr, fa *Diagram) *Diagram {
-	if tr.IsLeaf() && fa.IsLeaf() && sameLeaf(tr, fa) {
-		return tr
-	}
-	return &Diagram{Test: t, True: tr, False: fa}
-}
-
-func sameLeaf(a, b *Diagram) bool {
-	if len(a.Seqs) != len(b.Seqs) {
-		return false
-	}
-	for i := range a.Seqs {
-		if a.Seqs[i].seqKey() != b.Seqs[i].seqKey() {
-			return false
-		}
-	}
-	return true
-}
-
-// Size returns the number of nodes (branches + leaves) in the diagram.
+// Size returns the number of unique nodes (branches + leaves) in the
+// diagram. Hash-consed diagrams are DAGs, so shared subgraphs count once —
+// this is the number of decision nodes the backend materializes.
 func (d *Diagram) Size() int {
 	if d == nil {
 		return 0
 	}
-	if d.IsLeaf() {
-		return 1
+	seen := map[*Diagram]bool{}
+	n := 0
+	var walk func(*Diagram)
+	walk = func(x *Diagram) {
+		if x == nil || seen[x] {
+			return
+		}
+		seen[x] = true
+		n++
+		if !x.IsLeaf() {
+			walk(x.True)
+			walk(x.False)
+		}
 	}
-	return 1 + d.True.Size() + d.False.Size()
+	walk(d)
+	return n
 }
 
-// Leaves calls fn on every leaf of the diagram.
+// Leaves calls fn once on every unique leaf of the diagram (shared leaves
+// of a hash-consed DAG are visited a single time).
 func (d *Diagram) Leaves(fn func(*Diagram)) {
 	if d == nil {
 		return
 	}
-	if d.IsLeaf() {
-		fn(d)
-		return
+	seen := map[*Diagram]bool{}
+	var walk func(*Diagram)
+	walk = func(x *Diagram) {
+		if x == nil || seen[x] {
+			return
+		}
+		seen[x] = true
+		if x.IsLeaf() {
+			fn(x)
+			return
+		}
+		walk(x.True)
+		walk(x.False)
 	}
-	d.True.Leaves(fn)
-	d.False.Leaves(fn)
+	walk(d)
 }
 
 // String renders the diagram as an indented tree.
@@ -419,14 +440,17 @@ func CheckRaces(d *Diagram) error {
 }
 
 // StateVarsOf returns every state variable mentioned in tests or actions of
-// the diagram, sorted.
+// the diagram, sorted. The walk is a single pass over unique nodes: shared
+// subgraphs of a hash-consed diagram are not re-visited.
 func StateVarsOf(d *Diagram) []string {
 	set := map[string]bool{}
+	seen := map[*Diagram]bool{}
 	var walk func(*Diagram)
 	walk = func(n *Diagram) {
-		if n == nil {
+		if n == nil || seen[n] {
 			return
 		}
+		seen[n] = true
 		if n.IsLeaf() {
 			for _, s := range n.Seqs {
 				for _, a := range s {
