@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"snap"
 	"snap/internal/apps"
@@ -264,6 +265,49 @@ func BenchmarkDataplaneInject(b *testing.B) {
 		})
 		if _, err := dep.Inject(port, p); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataplaneThroughput measures the concurrent engine's
+// packets/sec on the campus monitor workload, swept over worker counts
+// and with sharding off/on — the Go-benchmark twin of `snapbench -exp
+// throughput`. On a single-core host the worker axis measures scheduling
+// overhead only; run on >=4 cores for the parallel-speedup comparison.
+func BenchmarkDataplaneThroughput(b *testing.B) {
+	network := snap.Campus(1000)
+	tm := snap.Gravity(network, 100, 1)
+	trace := bench.ReplayIngress(tm.Replay(4096, 7))
+	for _, sharded := range []bool{false, true} {
+		policy, err := bench.MonitorWorkload(sharded, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Heuristic placement, matching bench.Throughput exactly so the
+		// two harnesses measure the same deployment.
+		dep, err := snap.Compile(policy, network, tm, snap.WithHeuristicOptimizer())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range bench.ThroughputWorkers() {
+			b.Run(fmt.Sprintf("sharded=%v/workers=%d", sharded, workers), func(b *testing.B) {
+				eng := dep.Engine(snap.EngineOptions{Workers: workers, SwitchWorkers: 2, Window: 256})
+				defer eng.Close()
+				b.ResetTimer()
+				start := time.Now()
+				for done := 0; done < b.N; done += len(trace) {
+					n := len(trace)
+					if rest := b.N - done; rest < n {
+						n = rest
+					}
+					if err := eng.InjectReplay(trace[:n]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if el := time.Since(start).Seconds(); el > 0 {
+					b.ReportMetric(float64(b.N)/el, "pps")
+				}
+			})
 		}
 	}
 }

@@ -34,7 +34,7 @@ type report struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|all")
+	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|throughput|all")
 	scaleName := flag.String("scale", "ci", "scale preset: ci|full")
 	jsonPath := flag.String("json", "", "also write the collected rows as JSON to this file (e.g. BENCH.json)")
 	flag.Parse()
@@ -106,6 +106,14 @@ func main() {
 			rep.Experiments[name] = rows
 			fmt.Printf("== Figure 11: scaling with composed policies (scale=%s) ==\n%s\n",
 				scale.Name, bench.FormatFig11(rows))
+		case "throughput":
+			rows, err := bench.Throughput(scale)
+			if err != nil {
+				return err
+			}
+			rep.Experiments[name] = rows
+			fmt.Printf("== Data-plane throughput: campus monitor workload, concurrent engine (scale=%s) ==\n%s\n",
+				scale.Name, bench.FormatThroughput(rows))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -114,7 +122,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table3", "table4", "table5", "table6", "fig9", "fig10", "fig11"}
+		names = []string{"table3", "table4", "table5", "table6", "fig9", "fig10", "fig11", "throughput"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

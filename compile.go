@@ -38,6 +38,22 @@ type PhaseTimes = core.PhaseTimes
 // Delivery is a packet leaving the network at an OBS port.
 type Delivery = dataplane.Delivery
 
+// Engine is the concurrent, batched data-plane runtime: per-switch worker
+// pools connected by bounded channels, striped per-variable state locks.
+type Engine = dataplane.Engine
+
+// EngineOptions configures an Engine (workers, admission window, striping).
+type EngineOptions = dataplane.Options
+
+// Ingress is one packet entering the network at an OBS port.
+type Ingress = dataplane.Ingress
+
+// PlaneStats is a snapshot of data-plane activity counters.
+type PlaneStats = dataplane.Stats
+
+// SwitchLoad is one switch's share of the engine's work.
+type SwitchLoad = dataplane.SwitchLoad
+
 // Deployment is a compiled SNAP program running on a simulated network.
 type Deployment struct {
 	comp  *core.Compilation
@@ -64,6 +80,15 @@ func Compile(p Policy, t *Topology, tm TrafficMatrix, options ...CompileOption) 
 // several; stateful drops produce none).
 func (d *Deployment) Inject(port int, p Packet) ([]Delivery, error) {
 	return d.plane.Inject(port, p)
+}
+
+// Engine builds the concurrent data-plane runtime for this deployment:
+// batched/streamed ingress served by per-switch worker pools, with state
+// protected by striped per-variable locks so disjoint flows proceed in
+// parallel. The engine starts with fresh (empty) state tables, independent
+// of the deployment's sequential plane; call Close when done.
+func (d *Deployment) Engine(opts EngineOptions) *Engine {
+	return dataplane.NewEngine(d.comp.Config, opts)
 }
 
 // Placement reports where each state variable was placed.

@@ -5,6 +5,10 @@
 // language's one-big-switch semantics: packets injected here must exit the
 // same ports with the same headers, and leave behind the same global state,
 // as the eval function says they should.
+//
+// Two runtimes share the compiled configuration: the sequential Network
+// (this file) and the concurrent batched Engine (engine.go). See
+// docs/ARCHITECTURE.md for the invariants both maintain.
 package dataplane
 
 import (
@@ -23,22 +27,17 @@ type Delivery struct {
 	Packet pkt.Packet
 }
 
-// Stats counts simulator activity.
-type Stats struct {
-	Injected  int
-	Delivered int
-	Dropped   int
-	Hops      int
-	Suspends  int
-}
-
-// Network is the simulated data plane.
+// Network is the simulated data plane, processing one packet at a time to
+// quiescence. It shares switch VMs, routing and stats accounting with the
+// concurrent Engine; use Network when per-packet lockstep with the
+// reference semantics matters (tests, the snapsim cross-check) and Engine
+// to serve batched traffic.
 type Network struct {
 	cfg      *rules.Config
 	switches map[topo.NodeID]*netasm.Switch
 	// MaxHops guards against forwarding loops.
 	MaxHops int
-	Stats   Stats
+	stats   counters
 }
 
 // New instantiates switch VMs for a configuration.
@@ -68,7 +67,7 @@ func (n *Network) Inject(port int, p pkt.Packet) ([]Delivery, error) {
 	if !ok {
 		return nil, fmt.Errorf("dataplane: unknown ingress port %d", port)
 	}
-	n.Stats.Injected++
+	n.stats.injected.Add(1)
 	first := netasm.SimPacket{
 		Pkt: p,
 		Hdr: netasm.Header{
@@ -97,26 +96,26 @@ func (n *Network) Inject(port int, p pkt.Packet) ([]Delivery, error) {
 		for _, r := range results {
 			switch r.Outcome {
 			case netasm.Dropped:
-				n.Stats.Dropped++
+				n.stats.dropped.Add(1)
 
 			case netasm.Delivered:
-				n.Stats.Delivered++
+				n.stats.delivered.Add(1)
 				out = appendDelivery(out, seen, Delivery{Port: r.Packet.Hdr.OBSOut, Packet: r.Packet.Pkt})
 
 			case netasm.NeedState:
-				n.Stats.Suspends++
-				target, ok := n.targetFor(r)
+				n.stats.suspends.Add(1)
+				target, ok := stateTarget(n.cfg, r)
 				if !ok {
 					return nil, fmt.Errorf("dataplane: no owner for state of packet at switch %d", cur.at)
 				}
 				if target == cur.at {
 					return nil, fmt.Errorf("dataplane: suspended for local state at switch %d", cur.at)
 				}
-				next, err := n.forward(cur.at, r.Packet, target)
+				next, err := nextHop(n.cfg, cur.at, r.Packet, target)
 				if err != nil {
 					return nil, err
 				}
-				n.Stats.Hops++
+				n.stats.hops.Add(1)
 				queue = append(queue, inflight{at: next, sp: r.Packet, hops: cur.hops + 1})
 
 			case netasm.ToEgress:
@@ -124,25 +123,28 @@ func (n *Network) Inject(port int, p pkt.Packet) ([]Delivery, error) {
 				if !ok {
 					// Outport set to a value that is not an OBS port: the
 					// packet leaves the system nowhere; count as dropped.
-					n.Stats.Dropped++
+					n.stats.dropped.Add(1)
 					continue
 				}
 				if eg.Switch == cur.at {
-					n.Stats.Delivered++
+					n.stats.delivered.Add(1)
 					out = appendDelivery(out, seen, Delivery{Port: eg.ID, Packet: r.Packet.Pkt})
 					continue
 				}
-				next, err := n.forward(cur.at, r.Packet, eg.Switch)
+				next, err := nextHop(n.cfg, cur.at, r.Packet, eg.Switch)
 				if err != nil {
 					return nil, err
 				}
-				n.Stats.Hops++
+				n.stats.hops.Add(1)
 				queue = append(queue, inflight{at: next, sp: r.Packet, hops: cur.hops + 1})
 			}
 		}
 	}
 	return out, nil
 }
+
+// Stats returns a snapshot of the simulator counters.
+func (n *Network) Stats() Stats { return n.stats.snapshot() }
 
 // appendDelivery adds a delivery unless an identical packet already exited
 // the same port for this injection: the eval semantics returns packet
@@ -156,42 +158,54 @@ func appendDelivery(out []Delivery, seen map[string]bool, d Delivery) []Delivery
 	return append(out, d)
 }
 
-// targetFor resolves the switch a suspended packet must reach next: the
+// stateTarget resolves the switch a suspended packet must reach next: the
 // owner of the suspending test's variable, or of the first pending write.
-func (n *Network) targetFor(r netasm.Result) (topo.NodeID, bool) {
+func stateTarget(cfg *rules.Config, r netasm.Result) (topo.NodeID, bool) {
 	v := r.StateVar
 	if v == "" && len(r.Packet.Hdr.Pending) > 0 {
 		v = r.Packet.Hdr.Pending[0].Var
 	}
-	node, ok := n.cfg.Placement[v]
+	node, ok := cfg.Placement[v]
 	return node, ok
 }
 
-// forward picks the outgoing link from `at` toward `target`. A packet
+// nextHop picks the outgoing link from `at` toward `target`. A packet
 // still owing state visits (evaluation suspends or pending writes) follows
 // the shortest-path next hop toward the owning switch — the Appendix D
 // fallback, guaranteed to make progress. Once only the egress remains, the
 // optimizer's (u,v) match-action entry is preferred.
-func (n *Network) forward(at topo.NodeID, sp netasm.SimPacket, target topo.NodeID) (topo.NodeID, error) {
-	sc := n.cfg.Switches[at]
+func nextHop(cfg *rules.Config, at topo.NodeID, sp netasm.SimPacket, target topo.NodeID) (topo.NodeID, error) {
+	sc := cfg.Switches[at]
 	if sp.Hdr.OBSOut >= 0 && sp.Hdr.Phase == netasm.PhaseDeliver && len(sp.Hdr.Pending) == 0 {
 		if li, ok := sc.RouteNext[[2]int{sp.Hdr.OBSIn, sp.Hdr.OBSOut}]; ok {
-			return n.cfg.Topo.Links[li].To, nil
+			return cfg.Topo.Links[li].To, nil
 		}
 	}
 	li := sc.SPNext[target]
 	if li < 0 {
 		return 0, fmt.Errorf("dataplane: switch %d cannot reach switch %d", at, target)
 	}
-	return n.cfg.Topo.Links[li].To, nil
+	return cfg.Topo.Links[li].To, nil
 }
 
 // GlobalState unions the per-switch state tables. Placement puts each
 // variable on exactly one switch, so the union is well defined; it is the
 // distributed counterpart of the one-big-switch store.
-func (n *Network) GlobalState() *state.Store {
+func (n *Network) GlobalState() *state.Store { return unionState(n.switches) }
+
+// Config exposes the compiled configuration the plane was built from,
+// e.g. to build an Engine over the same deployment.
+func (n *Network) Config() *rules.Config { return n.cfg }
+
+// SwitchTable exposes one switch's tables (tests and diagnostics).
+func (n *Network) SwitchTable(id topo.NodeID) *state.Store {
+	return switchTable(n.switches, id)
+}
+
+// unionState and switchTable are the state views both runtimes share.
+func unionState(switches map[topo.NodeID]*netasm.Switch) *state.Store {
 	out := state.NewStore()
-	for _, sw := range n.switches {
+	for _, sw := range switches {
 		for _, v := range sw.Tables.Vars() {
 			out.CopyVar(sw.Tables, v)
 		}
@@ -199,9 +213,8 @@ func (n *Network) GlobalState() *state.Store {
 	return out
 }
 
-// SwitchTable exposes one switch's tables (tests and diagnostics).
-func (n *Network) SwitchTable(id topo.NodeID) *state.Store {
-	if sw, ok := n.switches[id]; ok {
+func switchTable(switches map[topo.NodeID]*netasm.Switch, id topo.NodeID) *state.Store {
+	if sw, ok := switches[id]; ok {
 		return sw.Tables
 	}
 	return nil

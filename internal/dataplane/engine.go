@@ -1,0 +1,528 @@
+// The concurrent, batched execution engine. Network (dataplane.go) runs
+// one packet at a time to quiescence; Engine runs whole batches or streams
+// of packets through the same per-switch NetASM VMs concurrently:
+//
+//   - a pool of goroutines per switch drains that switch's bounded inbox
+//     channel; packets move between switches by sends on those channels,
+//     mirroring the topology links the routing helpers resolve;
+//   - a global worker semaphore (Options.Workers) caps how many VM
+//     executions run at once, giving benchmarks a single parallelism knob
+//     (1 worker ≈ the sequential plane, modulo scheduling);
+//   - per-variable striped locks (state.Stripes) protect the per-switch
+//     state tables. Placement puts each variable — and each shard of a
+//     sharded variable, since shards are ordinary variables — on exactly
+//     one switch, so lock sets of different switches are disjoint and
+//     packets of disjoint flows proceed in parallel; packets contending
+//     for the same variable serialize, preserving per-visit atomicity.
+//
+// Equivalence with the sequential plane: every packet copy performs the
+// same switch visits and state operations as under Network.Inject; only
+// the interleaving across packets differs. For programs whose state
+// updates commute (counters, monotone flags) the final global state is
+// therefore identical to any sequential order, which the engine tests
+// assert against Network.
+package dataplane
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"snap/internal/netasm"
+	"snap/internal/pkt"
+	"snap/internal/rules"
+	"snap/internal/state"
+	"snap/internal/topo"
+)
+
+// Ingress is one packet entering the network at an OBS port.
+type Ingress struct {
+	Port   int
+	Packet pkt.Packet
+}
+
+// Options configures an Engine. The zero value picks sensible defaults.
+type Options struct {
+	// Workers caps concurrent VM executions across the whole engine.
+	// 1 serializes all packet processing (the sequential baseline);
+	// 0 defaults to GOMAXPROCS.
+	Workers int
+	// SwitchWorkers is the goroutine pool size per switch: how many
+	// packets a switch can pull off its inbox at once. Note that a
+	// switch's VM also executes on other pools' goroutines (a worker
+	// follows its packet's continuation inline), so Run is potentially
+	// concurrent at any pool size — safety always comes from the striped
+	// state locks, never from SwitchWorkers=1. 0 → 1.
+	SwitchWorkers int
+	// Window bounds how many injected packets are in flight at once. It
+	// is the admission control that keeps the bounded link channels from
+	// filling: in-flight copies never exceed Window × the widest
+	// multicast fork, which is exactly the inbox capacity. 0 → 256.
+	Window int
+	// MaxHops guards against forwarding loops. 0 → 16 × (switches + 2).
+	MaxHops int
+	// Stripes is the striped-lock pool size. 0 → state.DefaultStripes.
+	Stripes int
+}
+
+func (o Options) withDefaults(cfg *rules.Config) Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.SwitchWorkers <= 0 {
+		o.SwitchWorkers = 1
+	}
+	if o.Window <= 0 {
+		o.Window = 256
+	}
+	if o.MaxHops <= 0 {
+		o.MaxHops = 16 * (cfg.Topo.Switches + 2)
+	}
+	return o
+}
+
+// item is one live packet copy queued at a switch.
+type item struct {
+	sp   netasm.SimPacket
+	hops int
+	inj  *injection
+}
+
+// injection tracks one injected packet across all its in-flight copies.
+type injection struct {
+	refs atomic.Int32
+	done func()
+
+	// Delivery collection (nil seen = stream mode, deliveries only counted).
+	mu   sync.Mutex
+	seen map[string]bool
+	out  []Delivery
+}
+
+func (in *injection) deliver(d Delivery) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.seen == nil {
+		return
+	}
+	in.out = appendDelivery(in.out, in.seen, d)
+}
+
+// release retires n copies; the last one out completes the injection.
+func (in *injection) release(n int) {
+	if n == 0 {
+		return
+	}
+	if in.refs.Add(int32(-n)) == 0 {
+		in.done()
+	}
+}
+
+// Engine is the concurrent data plane.
+type Engine struct {
+	cfg      *rules.Config
+	opts     Options
+	switches map[topo.NodeID]*netasm.Switch
+	locks    map[topo.NodeID]state.LockSet
+	load     map[topo.NodeID]*switchCounters
+	inbox    map[topo.NodeID]chan item
+	slots    chan struct{} // global worker tokens
+	window   chan struct{} // admission control
+	stats    counters
+
+	wg     sync.WaitGroup // switch goroutines
+	mu     sync.Mutex     // serializes InjectBatch/InjectStream/Close
+	closed bool
+
+	failOnce sync.Once
+	failed   atomic.Bool
+	err      error
+}
+
+// NewEngine builds the concurrent plane for a compiled configuration and
+// starts its switch goroutines. The engine owns fresh (empty) state
+// tables, independent of any Network built from the same configuration.
+// Call Close to stop the goroutines.
+//
+// Errors are sticky: a processing error (hop limit, missing state owner,
+// VM fault) aborts the current batch AND poisons the engine — every later
+// InjectBatch/InjectStream returns the first error without injecting.
+// These errors all indicate a miscompiled configuration, not bad input,
+// and the abort may have dropped copies mid-flight, so the state tables
+// are no longer trustworthy; build a fresh Engine instead of retrying.
+func NewEngine(cfg *rules.Config, opts Options) *Engine {
+	opts = opts.withDefaults(cfg)
+	e := &Engine{
+		cfg:      cfg,
+		opts:     opts,
+		switches: make(map[topo.NodeID]*netasm.Switch, len(cfg.Switches)),
+		locks:    make(map[topo.NodeID]state.LockSet, len(cfg.Switches)),
+		load:     make(map[topo.NodeID]*switchCounters, len(cfg.Switches)),
+		inbox:    make(map[topo.NodeID]chan item, len(cfg.Switches)),
+		slots:    make(chan struct{}, opts.Workers),
+		window:   make(chan struct{}, opts.Window),
+	}
+	stripes := state.NewStripes(opts.Stripes)
+	maxFork := 1
+	for _, sc := range cfg.Switches {
+		if f := sc.Prog.MaxFork(); f > maxFork {
+			maxFork = f
+		}
+	}
+	// In-flight copies never exceed Window × maxFork (multicast forks
+	// once, at the xFDD leaf dispatch), so inboxes of this capacity make
+	// inter-switch sends non-blocking and the channel graph deadlock-free.
+	inboxCap := opts.Window * maxFork
+	for id, sc := range cfg.Switches {
+		sw := netasm.NewSwitch(int(id), sc.Prog, sc.Owns)
+		e.switches[id] = sw
+		e.locks[id] = stripes.LockSet(sw.LockVars())
+		e.load[id] = &switchCounters{}
+		e.inbox[id] = make(chan item, inboxCap)
+	}
+	for id := range e.inbox {
+		ch := e.inbox[id]
+		node := id
+		for w := 0; w < opts.SwitchWorkers; w++ {
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				for it := range ch {
+					e.step(node, it)
+				}
+			}()
+		}
+	}
+	return e
+}
+
+// Close stops the switch goroutines. The engine must be quiescent (no
+// InjectBatch/InjectStream in progress).
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, ch := range e.inbox {
+		close(ch)
+	}
+	e.wg.Wait()
+}
+
+// fail records the first error and aborts outstanding work: remaining
+// copies drain without processing.
+func (e *Engine) fail(err error) {
+	e.failOnce.Do(func() {
+		e.err = err
+		e.failed.Store(true)
+	})
+}
+
+// send enqueues a copy at a switch. The capacity argument above makes the
+// fast path non-blocking; the fallback goroutine is belt-and-braces so a
+// program violating the fork-once bound degrades to extra goroutines
+// instead of deadlocking the switch pool.
+func (e *Engine) send(to topo.NodeID, it item) {
+	select {
+	case e.inbox[to] <- it:
+	default:
+		go func() { e.inbox[to] <- it }()
+	}
+}
+
+// hop is a continuation: a packet copy bound for another switch.
+type hop struct {
+	to topo.NodeID
+	it item
+}
+
+// step executes one packet copy at one switch and routes the results.
+//
+// Scheduling follows the run-to-completion model of fast packet
+// processors: when a copy has exactly one continuation, the same goroutine
+// follows it to the next switch VM instead of handing it off — the per-hop
+// channel wakeup (~µs) would otherwise dwarf the VM execution itself.
+// Channels still carry ingress admission and multicast extras, and the
+// per-switch striped locks make the inlined visit indistinguishable from
+// one performed by the target switch's own pool.
+//
+// Lock discipline per visit: stripe locks first, then a worker token, so
+// a copy waiting for a contended variable does not occupy one of the
+// Options.Workers execution slots. Tokens are only held across Run, which
+// never blocks; stripe holders always progress, so neither wait can
+// deadlock.
+func (e *Engine) step(at topo.NodeID, it item) {
+	for {
+		if e.failed.Load() {
+			it.inj.release(1)
+			return
+		}
+		if it.hops > e.opts.MaxHops {
+			e.fail(fmt.Errorf("dataplane: hop limit exceeded at switch %d (forwarding loop?)", at))
+			it.inj.release(1)
+			return
+		}
+
+		sw := e.switches[at]
+		ls := e.locks[at]
+		if !ls.Empty() {
+			ls.Lock()
+		}
+		e.slots <- struct{}{}
+		results, err := sw.Run(it.sp)
+		<-e.slots
+		if !ls.Empty() {
+			ls.Unlock()
+		}
+		e.load[at].processed.Add(1)
+
+		if err != nil {
+			e.fail(err)
+			it.inj.release(1)
+			return
+		}
+		if len(results) == 0 {
+			it.inj.release(1)
+			return
+		}
+		// This copy becomes len(results) copies; retire the terminal ones.
+		it.inj.refs.Add(int32(len(results) - 1))
+		terminal := 0
+		var cont []hop
+		for _, r := range results {
+			switch r.Outcome {
+			case netasm.Dropped:
+				e.stats.dropped.Add(1)
+				terminal++
+
+			case netasm.Delivered:
+				e.stats.delivered.Add(1)
+				it.inj.deliver(Delivery{Port: r.Packet.Hdr.OBSOut, Packet: r.Packet.Pkt})
+				terminal++
+
+			case netasm.NeedState:
+				e.stats.suspends.Add(1)
+				e.load[at].suspends.Add(1)
+				target, ok := stateTarget(e.cfg, r)
+				if !ok {
+					e.fail(fmt.Errorf("dataplane: no owner for state of packet at switch %d", at))
+					terminal++
+					continue
+				}
+				if target == at {
+					e.fail(fmt.Errorf("dataplane: suspended for local state at switch %d", at))
+					terminal++
+					continue
+				}
+				next, err := nextHop(e.cfg, at, r.Packet, target)
+				if err != nil {
+					e.fail(err)
+					terminal++
+					continue
+				}
+				e.stats.hops.Add(1)
+				e.load[at].forwarded.Add(1)
+				cont = append(cont, hop{to: next, it: item{sp: r.Packet, hops: it.hops + 1, inj: it.inj}})
+
+			case netasm.ToEgress:
+				eg, ok := e.cfg.Topo.PortByID(r.Packet.Hdr.OBSOut)
+				if !ok {
+					e.stats.dropped.Add(1)
+					terminal++
+					continue
+				}
+				if eg.Switch == at {
+					e.stats.delivered.Add(1)
+					it.inj.deliver(Delivery{Port: eg.ID, Packet: r.Packet.Pkt})
+					terminal++
+					continue
+				}
+				next, err := nextHop(e.cfg, at, r.Packet, eg.Switch)
+				if err != nil {
+					e.fail(err)
+					terminal++
+					continue
+				}
+				e.stats.hops.Add(1)
+				e.load[at].forwarded.Add(1)
+				cont = append(cont, hop{to: next, it: item{sp: r.Packet, hops: it.hops + 1, inj: it.inj}})
+			}
+		}
+		it.inj.release(terminal)
+		if len(cont) == 0 {
+			return
+		}
+		// Multicast extras go through the link channels; the first
+		// continuation is followed in place.
+		for _, h := range cont[1:] {
+			e.send(h.to, h.it)
+		}
+		at, it = cont[0].to, cont[0].it
+	}
+}
+
+// inject admits one packet (blocking on the window) and enqueues it at
+// its ingress switch. collect controls whether deliveries are recorded.
+// An unknown port poisons the engine like any processing error: in
+// stream mode there is no up-front validation, and packets admitted
+// before the bad one have already run.
+func (e *Engine) inject(ing Ingress, collect bool, done func()) (*injection, error) {
+	pt, ok := e.cfg.Topo.PortByID(ing.Port)
+	if !ok {
+		err := fmt.Errorf("dataplane: unknown ingress port %d", ing.Port)
+		e.fail(err)
+		return nil, err
+	}
+	e.window <- struct{}{}
+	e.stats.injected.Add(1)
+	inj := &injection{done: func() {
+		<-e.window
+		done()
+	}}
+	if collect {
+		inj.seen = map[string]bool{}
+	}
+	inj.refs.Store(1)
+	sp := netasm.SimPacket{
+		Pkt: ing.Packet,
+		Hdr: netasm.Header{
+			OBSIn:  ing.Port,
+			OBSOut: -1,
+			Node:   e.cfg.RootID,
+			Seq:    -1,
+			Phase:  netasm.PhaseEval,
+		},
+	}
+	e.send(pt.Switch, item{sp: sp, inj: inj})
+	return inj, nil
+}
+
+// InjectBatch pushes a batch of packets through the plane concurrently and
+// waits for quiescence. out[i] holds the deliveries of batch[i], sorted
+// canonically (port, then packet key); multicast copies that end up
+// indistinguishable collapse, as in Network.Inject. Ingress ports are
+// validated up front, so a bad batch is rejected before any packet runs;
+// a processing error mid-batch aborts it (remaining copies drain
+// unprocessed) and poisons the engine — see NewEngine.
+func (e *Engine) InjectBatch(batch []Ingress) ([][]Delivery, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("dataplane: engine is closed")
+	}
+	// Validate every ingress port before admitting anything: a bad port
+	// must not leave the first half of the batch silently executed.
+	for i, ing := range batch {
+		if _, ok := e.cfg.Topo.PortByID(ing.Port); !ok {
+			return nil, fmt.Errorf("dataplane: unknown ingress port %d (batch index %d)", ing.Port, i)
+		}
+	}
+	out := make([][]Delivery, len(batch))
+	injs := make([]*injection, 0, len(batch))
+	var batchWg sync.WaitGroup
+	for _, ing := range batch {
+		if e.failed.Load() {
+			break
+		}
+		batchWg.Add(1)
+		inj, err := e.inject(ing, true, batchWg.Done)
+		if err != nil {
+			batchWg.Done()
+			batchWg.Wait()
+			return nil, err
+		}
+		injs = append(injs, inj)
+	}
+	batchWg.Wait()
+	if e.err != nil {
+		return nil, e.err
+	}
+	for i, inj := range injs {
+		ds := inj.out
+		sort.Slice(ds, func(a, b int) bool {
+			if ds[a].Port != ds[b].Port {
+				return ds[a].Port < ds[b].Port
+			}
+			return ds[a].Packet.Key() < ds[b].Packet.Key()
+		})
+		out[i] = ds
+	}
+	return out, nil
+}
+
+// InjectStream consumes ingress from ch until it closes, applying the same
+// admission control as InjectBatch, and waits for quiescence. Deliveries
+// are counted in Stats but not collected, so arbitrarily long replays run
+// in constant memory. Returns the first processing error, if any.
+func (e *Engine) InjectStream(ch <-chan Ingress) error {
+	return e.stream(func() (Ingress, bool) {
+		ing, ok := <-ch
+		return ing, ok
+	})
+}
+
+// stream drains an ingress iterator in stream mode and waits for
+// quiescence, sharing the admission/unwind bookkeeping between the
+// channel and slice frontends.
+func (e *Engine) stream(next func() (Ingress, bool)) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("dataplane: engine is closed")
+	}
+	var wg sync.WaitGroup
+	for {
+		ing, ok := next()
+		if !ok || e.failed.Load() {
+			break
+		}
+		wg.Add(1)
+		if _, err := e.inject(ing, false, wg.Done); err != nil {
+			wg.Done()
+			wg.Wait()
+			return err
+		}
+	}
+	wg.Wait()
+	return e.err
+}
+
+// InjectReplay pushes a pre-built trace through the plane in stream mode
+// (deliveries counted, not collected) and waits for quiescence — the load
+// harness's and benchmarks' fast path, avoiding per-packet channel hops
+// between producer and engine.
+func (e *Engine) InjectReplay(trace []Ingress) error {
+	i := 0
+	return e.stream(func() (Ingress, bool) {
+		if i >= len(trace) {
+			return Ingress{}, false
+		}
+		ing := trace[i]
+		i++
+		return ing, true
+	})
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats.snapshot() }
+
+// Load reports each switch's share of the work performed so far. Take it
+// when quiescent (outside InjectBatch/InjectStream) for exact numbers.
+func (e *Engine) Load() map[topo.NodeID]SwitchLoad {
+	out := make(map[topo.NodeID]SwitchLoad, len(e.load))
+	for id, c := range e.load {
+		out[id] = c.snapshot()
+	}
+	return out
+}
+
+// GlobalState unions the per-switch state tables, as Network.GlobalState.
+// Only meaningful when the engine is quiescent.
+func (e *Engine) GlobalState() *state.Store { return unionState(e.switches) }
+
+// SwitchTable exposes one switch's tables (tests and diagnostics).
+func (e *Engine) SwitchTable(id topo.NodeID) *state.Store { return switchTable(e.switches, id) }

@@ -1,0 +1,263 @@
+package dataplane_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"snap/internal/apps"
+	"snap/internal/dataplane"
+	"snap/internal/pkt"
+	"snap/internal/shard"
+	"snap/internal/state"
+	"snap/internal/syntax"
+	"snap/internal/topo"
+	"snap/internal/values"
+)
+
+// campusWorkload is the standard test composition: assumption; (inner;
+// assign-egress) on the Figure 2 campus.
+func campusWorkload(inner syntax.Policy) syntax.Policy {
+	return syntax.Then(
+		apps.Assumption(6),
+		syntax.Then(inner, apps.AssignEgress(6)),
+	)
+}
+
+func deliveryKey(d dataplane.Delivery) string {
+	return fmt.Sprintf("%d|%s", d.Port, d.Packet.Key())
+}
+
+func sortedKeys(ds []dataplane.Delivery) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = deliveryKey(d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestEngineSequentialEquivalence: a batch through the concurrent engine
+// must produce, per injection, the same delivery sets as N sequential
+// Inject calls, and the same final global state under any execution
+// order. The workload is chosen commutative — a per-ingress counter plus a
+// monotone seen-flag — with forwarding independent of state, so the
+// per-injection results are order-independent and the comparison is exact.
+func TestEngineSequentialEquivalence(t *testing.T) {
+	netw := topo.Campus(1000)
+	seenWriter := syntax.Cond(
+		syntax.FieldEq(pkt.SrcPort, values.Int(53)),
+		syntax.WriteState("seen",
+			syntax.Vec(syntax.F(pkt.DstIP), syntax.F(pkt.DNSRData)),
+			syntax.V(values.Bool(true))),
+		syntax.Id(),
+	)
+	p := campusWorkload(syntax.Par(seenWriter, apps.Monitor()))
+	seqPlane, _ := deploy(t, p, netw, nil)
+
+	rng := rand.New(rand.NewSource(11))
+	batch := make([]dataplane.Ingress, 0, 300)
+	for i := 0; i < 300; i++ {
+		port, pk := campusPacket(rng)
+		batch = append(batch, dataplane.Ingress{Port: port, Packet: pk})
+	}
+
+	// Sequential reference on a fresh plane.
+	want := make([][]dataplane.Delivery, len(batch))
+	for i, ing := range batch {
+		ds, err := seqPlane.Inject(ing.Port, ing.Packet)
+		if err != nil {
+			t.Fatalf("sequential inject %d: %v", i, err)
+		}
+		want[i] = ds
+	}
+
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			eng := dataplane.NewEngine(seqPlane.Config(), dataplane.Options{
+				Workers:       workers,
+				SwitchWorkers: 2,
+				Window:        64,
+			})
+			defer eng.Close()
+			got, err := eng.InjectBatch(batch)
+			if err != nil {
+				t.Fatalf("InjectBatch: %v", err)
+			}
+			for i := range batch {
+				w, g := sortedKeys(want[i]), sortedKeys(got[i])
+				if len(w) != len(g) {
+					t.Fatalf("injection %d: want %d deliveries, got %d", i, len(w), len(g))
+				}
+				for j := range w {
+					if w[j] != g[j] {
+						t.Fatalf("injection %d delivery %d: want %s, got %s", i, j, w[j], g[j])
+					}
+				}
+			}
+			if !eng.GlobalState().Equal(seqPlane.GlobalState()) {
+				t.Fatalf("final state diverges from sequential run\nengine:\n%s\nsequential:\n%s",
+					eng.GlobalState(), seqPlane.GlobalState())
+			}
+			st := eng.Stats()
+			if st.Injected != int64(len(batch)) {
+				t.Fatalf("stats.Injected = %d, want %d", st.Injected, len(batch))
+			}
+			seq := seqPlane.Stats()
+			if st.Delivered != seq.Delivered || st.Dropped != seq.Dropped || st.Suspends != seq.Suspends {
+				t.Fatalf("stats diverge: engine %+v vs sequential %+v", st, seq)
+			}
+		})
+	}
+}
+
+// TestEngineBatchOfOneExactEquivalence: with batches of size 1 the engine
+// is lockstep-equivalent to Network.Inject for *any* policy, including
+// ones whose forwarding depends on state order (the stateful firewall).
+func TestEngineBatchOfOneExactEquivalence(t *testing.T) {
+	netw := topo.Campus(1000)
+	fw, _ := apps.ByName("stateful-firewall")
+	p := campusWorkload(fw.MustPolicy())
+	seqPlane, d := deploy(t, p, netw, nil)
+
+	eng := dataplane.NewEngine(seqPlane.Config(), dataplane.Options{SwitchWorkers: 2})
+	defer eng.Close()
+
+	ref := state.NewStore()
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		port, pk := campusPacket(rng)
+		want, err := seqPlane.Inject(port, pk)
+		if err != nil {
+			t.Fatalf("packet %d: sequential: %v", i, err)
+		}
+		got, err := eng.InjectBatch([]dataplane.Ingress{{Port: port, Packet: pk}})
+		if err != nil {
+			t.Fatalf("packet %d: engine: %v", i, err)
+		}
+		w, g := sortedKeys(want), sortedKeys(got[0])
+		if fmt.Sprint(w) != fmt.Sprint(g) {
+			t.Fatalf("packet %d: deliveries diverge: want %v, got %v", i, w, g)
+		}
+		_, ref2, err := d.Eval(ref, pk)
+		if err != nil {
+			t.Fatalf("packet %d: ref eval: %v", i, err)
+		}
+		ref = ref2
+		if !eng.GlobalState().Equal(ref) {
+			t.Fatalf("packet %d: engine state diverges from semantics", i)
+		}
+	}
+}
+
+// TestEngineShardedStateEquivalence is the shard × engine property test: a
+// sharded program executed concurrently leaves, after shard.Merge, the
+// same final store as the unsharded program executed sequentially — over
+// several random traces (the updates are per-ingress counters, so shards
+// are disjoint and updates commute).
+func TestEngineShardedStateEquivalence(t *testing.T) {
+	netw := topo.Campus(1000)
+	plan := shard.PortsPlan("count", []int{1, 2, 3, 4, 5, 6})
+	shardedInner, err := shard.Apply(apps.Monitor(), plan)
+	if err != nil {
+		t.Fatalf("shard.Apply: %v", err)
+	}
+	seqPlane, _ := deploy(t, campusWorkload(apps.Monitor()), netw, nil)
+	shardPlane, _ := deploy(t, campusWorkload(shardedInner), netw, nil)
+
+	for _, seed := range []int64{1, 7, 23, 99} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			batch := make([]dataplane.Ingress, 0, 250)
+			for i := 0; i < 250; i++ {
+				port, pk := campusPacket(rng)
+				batch = append(batch, dataplane.Ingress{Port: port, Packet: pk})
+			}
+
+			// Unsharded sequential reference (fresh plane per seed).
+			refPlane := dataplane.New(seqPlane.Config())
+			for i, ing := range batch {
+				if _, err := refPlane.Inject(ing.Port, ing.Packet); err != nil {
+					t.Fatalf("sequential inject %d: %v", i, err)
+				}
+			}
+
+			eng := dataplane.NewEngine(shardPlane.Config(), dataplane.Options{
+				SwitchWorkers: 2,
+				Window:        32,
+			})
+			defer eng.Close()
+			if _, err := eng.InjectBatch(batch); err != nil {
+				t.Fatalf("InjectBatch: %v", err)
+			}
+			merged, err := shard.Merge(eng.GlobalState(), plan, nil)
+			if err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+			if !merged.Equal(refPlane.GlobalState()) {
+				t.Fatalf("sharded concurrent state != unsharded sequential state\nmerged:\n%s\nref:\n%s",
+					merged, refPlane.GlobalState())
+			}
+		})
+	}
+}
+
+// TestEngineStreamAndLoad: InjectStream drains a replayed trace and the
+// per-switch load accounting adds up to the global counters.
+func TestEngineStreamAndLoad(t *testing.T) {
+	netw := topo.Campus(1000)
+	p := campusWorkload(apps.Monitor())
+	plane, _ := deploy(t, p, netw, nil)
+
+	eng := dataplane.NewEngine(plane.Config(), dataplane.Options{Workers: 4, SwitchWorkers: 2, Window: 16})
+	defer eng.Close()
+
+	const n = 500
+	ch := make(chan dataplane.Ingress)
+	go func() {
+		defer close(ch)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < n; i++ {
+			port, pk := campusPacket(rng)
+			ch <- dataplane.Ingress{Port: port, Packet: pk}
+		}
+	}()
+	if err := eng.InjectStream(ch); err != nil {
+		t.Fatalf("InjectStream: %v", err)
+	}
+	st := eng.Stats()
+	if st.Injected != n {
+		t.Fatalf("Injected = %d, want %d", st.Injected, n)
+	}
+	if st.Delivered == 0 {
+		t.Fatal("no deliveries recorded")
+	}
+	var processed, suspends, forwarded int64
+	for _, l := range eng.Load() {
+		processed += l.Processed
+		suspends += l.Suspends
+		forwarded += l.Forwarded
+	}
+	if processed == 0 || processed < st.Injected {
+		t.Fatalf("processed = %d, want >= injected %d", processed, st.Injected)
+	}
+	if suspends != st.Suspends {
+		t.Fatalf("per-switch suspends %d != global %d", suspends, st.Suspends)
+	}
+	if forwarded != st.Hops {
+		t.Fatalf("per-switch forwarded %d != global hops %d", forwarded, st.Hops)
+	}
+}
+
+// TestEngineUnknownPort: injecting at a nonexistent port errors cleanly.
+func TestEngineUnknownPort(t *testing.T) {
+	netw := topo.Campus(1000)
+	plane, _ := deploy(t, campusWorkload(apps.Monitor()), netw, nil)
+	eng := dataplane.NewEngine(plane.Config(), dataplane.Options{})
+	defer eng.Close()
+	if _, err := eng.InjectBatch([]dataplane.Ingress{{Port: 9999, Packet: pkt.New(map[pkt.Field]values.Value{})}}); err == nil {
+		t.Fatal("expected error for unknown ingress port")
+	}
+}

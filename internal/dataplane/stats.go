@@ -1,0 +1,58 @@
+package dataplane
+
+import "sync/atomic"
+
+// Stats is a point-in-time snapshot of data-plane activity. Both the
+// sequential Network and the concurrent Engine maintain these counters
+// atomically, so a snapshot taken while traffic is in flight is internally
+// consistent per counter (though counters may be mid-update relative to
+// each other).
+type Stats struct {
+	Injected  int64 // packets entered at OBS ingress ports
+	Delivered int64 // copies that exited at an OBS egress port
+	Dropped   int64 // copies discarded (policy drop or dead outport)
+	Hops      int64 // inter-switch forwarding steps
+	Suspends  int64 // evaluations suspended for remote state
+}
+
+// counters is the live, atomically-updated form of Stats.
+type counters struct {
+	injected  atomic.Int64
+	delivered atomic.Int64
+	dropped   atomic.Int64
+	hops      atomic.Int64
+	suspends  atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Injected:  c.injected.Load(),
+		Delivered: c.delivered.Load(),
+		Dropped:   c.dropped.Load(),
+		Hops:      c.hops.Load(),
+		Suspends:  c.suspends.Load(),
+	}
+}
+
+// SwitchLoad is the per-switch share of the engine's work, for load
+// reporting: how many packet copies a switch executed, how many of those
+// suspended for remote state, and how many it forwarded onward.
+type SwitchLoad struct {
+	Processed int64
+	Suspends  int64
+	Forwarded int64
+}
+
+type switchCounters struct {
+	processed atomic.Int64
+	suspends  atomic.Int64
+	forwarded atomic.Int64
+}
+
+func (c *switchCounters) snapshot() SwitchLoad {
+	return SwitchLoad{
+		Processed: c.processed.Load(),
+		Suspends:  c.suspends.Load(),
+		Forwarded: c.forwarded.Load(),
+	}
+}

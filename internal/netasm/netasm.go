@@ -14,6 +14,7 @@ package netasm
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"snap/internal/pkt"
@@ -80,6 +81,20 @@ type Program struct {
 	// EntryOf maps xFDD node ids to pcs, so a packet tagged with a resume
 	// node continues exactly where the previous switch stopped.
 	EntryOf map[int]int
+}
+
+// MaxFork returns the widest multicast fork in the program, at least 1.
+// One packet entering a switch can leave as at most MaxFork copies, which
+// bounds how much a batch can amplify in flight — the concurrent engine
+// sizes its bounded link channels with it.
+func (p *Program) MaxFork() int {
+	max := 1
+	for _, ins := range p.Instrs {
+		if ins.Op == OpFork && len(ins.Seqs) > max {
+			max = len(ins.Seqs)
+		}
+	}
+	return max
 }
 
 // String disassembles the program.
@@ -178,6 +193,15 @@ type Result struct {
 }
 
 // Switch is a NetASM VM instance: a program plus local state tables.
+//
+// Concurrency: Run keeps no state between calls other than Tables — the
+// program is immutable, packets are value types, and pending-write slices
+// are never shared between live packet copies (fork and resolve always
+// copy). Concurrent Runs on the same Switch are therefore safe exactly
+// when access to Tables is serialized externally; Tables is touched only
+// for variables in Owns, so holding a lock set covering LockVars() for the
+// duration of the call suffices. A switch owning no state (LockVars empty)
+// is freely re-entrant.
 type Switch struct {
 	ID     int
 	Prog   *Program
@@ -191,6 +215,20 @@ type Switch struct {
 // NewSwitch builds a VM with empty tables.
 func NewSwitch(id int, prog *Program, owns map[string]bool) *Switch {
 	return &Switch{ID: id, Prog: prog, Tables: state.NewStore(), Owns: owns, MaxSteps: 1 << 16}
+}
+
+// LockVars lists the state variables a Run may touch, sorted: everything
+// the switch owns. Local branch/write instructions only ever reference
+// owned variables (remote tests compile to suspend stubs), and commitLocal
+// can apply a pending write for any owned variable, so Owns is both sound
+// and tight as a static lock set.
+func (sw *Switch) LockVars() []string {
+	out := make([]string, 0, len(sw.Owns))
+	for v := range sw.Owns {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Run processes one packet copy: commit its pending writes for local

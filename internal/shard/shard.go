@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"snap/internal/pkt"
+	"snap/internal/state"
 	"snap/internal/syntax"
 	"snap/internal/values"
 )
@@ -249,6 +250,46 @@ func touches(p syntax.Policy, v string) bool {
 	}
 	walk(p)
 	return found
+}
+
+// Merge folds a store's shard variables back into the original array,
+// undoing the Apply rewrite on the data: the result binds plan.Var where
+// the input bound any s@v shard, with all other variables copied through.
+// Shards partition accesses by the dispatch field's value, not by index,
+// so two shards may bind the same index (e.g. count[srcip] sharded by
+// inport, one source entering at two ports); combine resolves such
+// collisions (sum for counters, or for flags). A nil combine makes
+// collisions an error — the right default when the index tuple contains
+// the dispatch field and shards are provably disjoint.
+func Merge(st *state.Store, plan Plan, combine func(a, b values.Value) values.Value) (*state.Store, error) {
+	out := state.NewStore()
+	shardSet := map[string]bool{}
+	for _, n := range plan.Names() {
+		shardSet[n] = true
+	}
+	for _, v := range st.Vars() {
+		if !shardSet[v] {
+			out.CopyVar(st, v)
+		}
+	}
+	seen := map[string]bool{}
+	for _, e := range out.Entries(plan.Var) {
+		seen[e.Idx.Key()] = true
+	}
+	for _, n := range plan.Names() {
+		for _, e := range st.Entries(n) {
+			if seen[e.Idx.Key()] {
+				if combine == nil {
+					return nil, fmt.Errorf("shard: merge collision on %s%s (pass a combine function)", plan.Var, e.Idx)
+				}
+				out.Set(plan.Var, e.Idx, combine(out.Get(plan.Var, e.Idx), e.Val))
+				continue
+			}
+			seen[e.Idx.Key()] = true
+			out.Set(plan.Var, e.Idx, e.Val)
+		}
+	}
+	return out, nil
 }
 
 // PortsPlan is the Appendix C example: shard by inport over a port list.

@@ -213,3 +213,46 @@ func TestShardRejectsAtomic(t *testing.T) {
 		t.Fatalf("unrelated transaction rejected: %v", err)
 	}
 }
+
+// TestMerge: the exported merge reconstructs the original array, copies
+// unrelated variables through, resolves index collisions with the combine
+// function, and errors on collisions without one.
+func TestMerge(t *testing.T) {
+	plan := shard.PortsPlan("count", []int{1, 2})
+	st := state.NewStore()
+	st.Set("count@1", values.Tuple{values.Int(1)}, values.Int(5))
+	st.Set("count@2", values.Tuple{values.Int(2)}, values.Int(7))
+	st.Set("other", values.Tuple{values.Int(9)}, values.Bool(true))
+
+	merged, err := shard.Merge(st, plan, nil)
+	if err != nil {
+		t.Fatalf("disjoint merge: %v", err)
+	}
+	if got := merged.Get("count", values.Tuple{values.Int(1)}); !values.Eq(got, values.Int(5)) {
+		t.Fatalf("count[1] = %s, want 5", got)
+	}
+	if got := merged.Get("count", values.Tuple{values.Int(2)}); !values.Eq(got, values.Int(7)) {
+		t.Fatalf("count[2] = %s, want 7", got)
+	}
+	if got := merged.Get("other", values.Tuple{values.Int(9)}); !values.Eq(got, values.Bool(true)) {
+		t.Fatalf("other[9] = %s, want True", got)
+	}
+	if vars := merged.Vars(); len(vars) != 2 {
+		t.Fatalf("merged vars = %v, want [count other]", vars)
+	}
+
+	// Same index in two shards (count[srcip]-style sharding): combine
+	// resolves, nil errors.
+	st.Set("count@2", values.Tuple{values.Int(1)}, values.Int(3))
+	if _, err := shard.Merge(st, plan, nil); err == nil {
+		t.Fatal("collision without combine must error")
+	}
+	sum := func(a, b values.Value) values.Value { return values.Int(a.AsInt() + b.AsInt()) }
+	merged, err = shard.Merge(st, plan, sum)
+	if err != nil {
+		t.Fatalf("merge with combine: %v", err)
+	}
+	if got := merged.Get("count", values.Tuple{values.Int(1)}); !values.Eq(got, values.Int(8)) {
+		t.Fatalf("combined count[1] = %s, want 8", got)
+	}
+}

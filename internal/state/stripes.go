@@ -1,0 +1,81 @@
+// Striped locks for concurrent data-plane execution. Each state variable
+// hashes to one mutex in a fixed pool; a LockSet is the deadlock-free
+// (sorted, deduplicated) acquisition order for a group of variables.
+//
+// Placement puts every variable — and, under a shard.Plan, every shard,
+// since shards are ordinary variables with distinct names — on exactly one
+// switch, so the lock sets of different switches are disjoint up to hash
+// collisions and flows touching different variables proceed in parallel.
+package state
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultStripes is the lock-pool size used when none is specified. A pool
+// much larger than the variable count makes cross-variable hash collisions
+// (false contention) unlikely while keeping the pool allocation trivial.
+const DefaultStripes = 64
+
+// Stripes is a fixed pool of mutexes guarding state-variable names.
+type Stripes struct {
+	mu []sync.Mutex
+}
+
+// NewStripes returns a pool of n mutexes (DefaultStripes if n <= 0).
+func NewStripes(n int) *Stripes {
+	if n <= 0 {
+		n = DefaultStripes
+	}
+	return &Stripes{mu: make([]sync.Mutex, n)}
+}
+
+func (s *Stripes) index(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(len(s.mu)))
+}
+
+// LockSet builds the lock set for a group of variable names. Stripe indices
+// are deduplicated and sorted, so any two LockSets from the same pool
+// acquire their common stripes in the same order — the standard total-order
+// argument that makes Lock deadlock-free.
+func (s *Stripes) LockSet(vars []string) LockSet {
+	seen := make(map[int]bool, len(vars))
+	idx := make([]int, 0, len(vars))
+	for _, v := range vars {
+		i := s.index(v)
+		if !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	return LockSet{s: s, idx: idx}
+}
+
+// LockSet is an ordered set of stripes to hold while touching the
+// variables it was built from.
+type LockSet struct {
+	s   *Stripes
+	idx []int
+}
+
+// Empty reports whether the set guards nothing (Lock/Unlock are no-ops).
+func (ls LockSet) Empty() bool { return len(ls.idx) == 0 }
+
+// Lock acquires every stripe in ascending order.
+func (ls LockSet) Lock() {
+	for _, i := range ls.idx {
+		ls.s.mu[i].Lock()
+	}
+}
+
+// Unlock releases the stripes in reverse order.
+func (ls LockSet) Unlock() {
+	for j := len(ls.idx) - 1; j >= 0; j-- {
+		ls.s.mu[ls.idx[j]].Unlock()
+	}
+}

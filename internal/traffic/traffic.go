@@ -92,6 +92,34 @@ func (m Matrix) Pairs() [][2]int {
 	return out
 }
 
+// Replay samples n ordered port pairs from the matrix, each drawn with
+// probability proportional to its demand — a packet-level trace whose
+// empirical distribution converges to the matrix. The same seed always
+// yields the same trace, so load tests and benchmarks are repeatable.
+func (m Matrix) Replay(n int, seed int64) [][2]int {
+	pairs := m.Pairs()
+	if len(pairs) == 0 || n <= 0 {
+		return nil
+	}
+	cum := make([]float64, len(pairs))
+	var total float64
+	for i, p := range pairs {
+		total += m[p]
+		cum[i] = total
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][2]int, n)
+	for i := range out {
+		x := rng.Float64() * total
+		j := sort.SearchFloat64s(cum, x)
+		if j >= len(pairs) {
+			j = len(pairs) - 1
+		}
+		out[i] = pairs[j]
+	}
+	return out
+}
+
 // Scale returns a copy of m with every demand multiplied by f.
 func (m Matrix) Scale(f float64) Matrix {
 	out := make(Matrix, len(m))

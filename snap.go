@@ -19,7 +19,14 @@
 // the evaluator (internal/semantics), topology and traffic generators, and
 // the full compiler pipeline (dependency analysis → xFDD → packet-state
 // mapping → placement/routing optimization → per-switch NetASM rules),
-// plus a data-plane simulator that executes compiled deployments.
+// plus two data-plane runtimes executing compiled deployments: the
+// sequential Network (Deployment.Inject) and the concurrent batched
+// Engine (Deployment.Engine).
+//
+// docs/ARCHITECTURE.md documents every internal package with its paper
+// cross-reference and invariants; README.md has the quickstart and the
+// pipeline overview. The Example functions in examples_test.go are the
+// runnable versions of both documents' snippets.
 package snap
 
 import (
@@ -216,6 +223,10 @@ func NamedTopology(name string, capacity, portScale float64) (*Topology, error) 
 
 // IGen synthesizes an IGen-style topology with n switches (§6.2).
 func IGen(n int, capacity float64) *Topology { return topo.IGen(n, capacity) }
+
+// CampusSwitchName names a switch of the Figure 2 campus topology
+// (IDs outside the campus render as "S<n>").
+func CampusSwitchName(n NodeID) string { return topo.CampusSwitchName(n) }
 
 // NewTopology builds a custom topology.
 func NewTopology(name string, switches int, links []Link, ports []Port) (*Topology, error) {
