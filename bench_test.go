@@ -18,6 +18,7 @@ import (
 	"snap/internal/bench"
 	"snap/internal/core"
 	"snap/internal/parser"
+	"snap/internal/rules"
 	"snap/internal/topo"
 	"snap/internal/traffic"
 	"snap/internal/xfdd"
@@ -309,6 +310,47 @@ func BenchmarkDataplaneThroughput(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkReconfig measures the engine's epoch swap in isolation: with a
+// warm (stateful) engine, ApplyConfig alternates between two compiled
+// configurations of the campus monitor workload — drain to quiescence,
+// migrate the state tables to their owners under the incoming placement,
+// publish the new plane. The Go-benchmark twin of `snapbench -exp
+// reconfig`, which additionally reports the cold-restart comparison.
+func BenchmarkReconfig(b *testing.B) {
+	network := snap.Campus(1000)
+	tmA := snap.Gravity(network, 100, 1)
+	tmB := snap.Gravity(network, 100, 2)
+	for _, sharded := range []bool{false, true} {
+		sharded := sharded
+		b.Run(fmt.Sprintf("sharded=%v", sharded), func(b *testing.B) {
+			policy, err := bench.MonitorWorkload(sharded, 6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			depA, err := snap.Compile(policy, network, tmA, snap.WithHeuristicOptimizer())
+			if err != nil {
+				b.Fatal(err)
+			}
+			depB, err := depA.Replace(tmB)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := depA.Engine(snap.EngineOptions{Workers: 4, SwitchWorkers: 2, Window: 256})
+			defer eng.Close()
+			if err := eng.InjectReplay(bench.ReplayIngress(tmA.Replay(4096, 7))); err != nil {
+				b.Fatal(err)
+			}
+			cfgs := []*rules.Config{depB.Config(), depA.Config()}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.ApplyConfig(cfgs[i%2], nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -34,7 +34,7 @@ type report struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|throughput|all")
+	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|throughput|reconfig|all")
 	scaleName := flag.String("scale", "ci", "scale preset: ci|full")
 	jsonPath := flag.String("json", "", "also write the collected rows as JSON to this file (e.g. BENCH.json)")
 	flag.Parse()
@@ -114,6 +114,14 @@ func main() {
 			rep.Experiments[name] = rows
 			fmt.Printf("== Data-plane throughput: campus monitor workload, concurrent engine (scale=%s) ==\n%s\n",
 				scale.Name, bench.FormatThroughput(rows))
+		case "reconfig":
+			rows, err := bench.Reconfig(scale)
+			if err != nil {
+				return err
+			}
+			rep.Experiments[name] = rows
+			fmt.Printf("== Live reconfiguration: hot swap vs cold restart, campus monitor workload (scale=%s) ==\n%s\n",
+				scale.Name, bench.FormatReconfig(rows))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -122,7 +130,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table3", "table4", "table5", "table6", "fig9", "fig10", "fig11", "throughput"}
+		names = []string{"table3", "table4", "table5", "table6", "fig9", "fig10", "fig11", "throughput", "reconfig"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"snap/internal/core"
+	"snap/internal/ctrl"
 	"snap/internal/dataplane"
 	"snap/internal/place"
 	"snap/internal/rules"
@@ -53,6 +54,38 @@ type PlaneStats = dataplane.Stats
 
 // SwitchLoad is one switch's share of the engine's work.
 type SwitchLoad = dataplane.SwitchLoad
+
+// StateRewrite transforms the global state during Engine.ApplyConfig
+// (e.g. folding shard variables); nil migrates entries unchanged.
+type StateRewrite = dataplane.StateRewrite
+
+// Controller is the drift-driven control loop (internal/ctrl): it watches
+// an Engine's observed traffic matrix, recompiles incrementally when the
+// matrix drifts, and hot-swaps the result with state migration.
+type Controller = ctrl.Controller
+
+// ControllerOptions configures a Controller (drift threshold, minimum
+// sample, re-route vs re-place mode, shard plans).
+type ControllerOptions = ctrl.Options
+
+// ReconfigEvent records one completed live reconfiguration.
+type ReconfigEvent = ctrl.Reconfig
+
+// MigrationPlan is the state-migration side of a reconfiguration.
+type MigrationPlan = ctrl.Plan
+
+// StateMove is one state variable changing owner switch.
+type StateMove = ctrl.Move
+
+// ReconfigMode selects the controller's re-optimization depth.
+type ReconfigMode = ctrl.Mode
+
+// Controller modes: ReRoute keeps placement (P5-TE); RePlace re-solves
+// placement jointly (P5-ST) so state may migrate to new owners.
+const (
+	ReRoute = ctrl.ReRoute
+	RePlace = ctrl.RePlace
+)
 
 // Deployment is a compiled SNAP program running on a simulated network.
 type Deployment struct {
@@ -145,6 +178,29 @@ func (d *Deployment) Reroute(tm TrafficMatrix) (*Deployment, error) {
 		return nil, err
 	}
 	return &Deployment{comp: comp, plane: dataplane.New(comp.Config)}, nil
+}
+
+// Replace re-optimizes placement AND routing jointly for a new traffic
+// matrix on the incrementally refreshed model — the deep variant of
+// Reroute for drift large enough that the old placement wastes the
+// optimizer's freedom. State table contents are not carried over; to
+// reconfigure a live engine without losing state, use Controller /
+// Engine.ApplyConfig instead.
+func (d *Deployment) Replace(tm TrafficMatrix) (*Deployment, error) {
+	comp, err := d.comp.TopoTMReplace(tm)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{comp: comp, plane: dataplane.New(comp.Config)}, nil
+}
+
+// Controller builds the drift-driven control loop for an engine running
+// this deployment's configuration. The controller owns the compilation
+// lineage from here on: each reconfiguration advances
+// Controller.Compilation(), while the Deployment keeps describing the
+// original configuration.
+func (d *Deployment) Controller(eng *Engine, opts ControllerOptions) *Controller {
+	return ctrl.New(d.comp, eng, opts)
 }
 
 // Summary renders a human-readable deployment report: placement, sample

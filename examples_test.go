@@ -120,3 +120,56 @@ func ExampleDeployment_Engine() {
 	// injection 1: 1 delivery(ies)
 	// count[1] = 2
 }
+
+// subnetPacket builds a packet entering at port u addressed to port v's
+// subnet, so assign-egress forwards it to v.
+func subnetPacket(u, v int) snap.Packet {
+	return snap.NewPacket(map[snap.Field]snap.Value{
+		snap.Inport: snap.Int(int64(u)),
+		snap.SrcIP:  snap.IPv4(10, 0, byte(u), 1),
+		snap.DstIP:  snap.IPv4(10, 0, byte(v), 2),
+	})
+}
+
+// ExampleDeployment_Controller runs the live-reconfiguration control
+// loop: after the observed traffic drifts from the matrix the deployment
+// was optimized for, the controller recompiles incrementally, migrates
+// state to its new owner switches, and hot-swaps the running engine — no
+// packet and no state entry is lost.
+func ExampleDeployment_Controller() {
+	program := snap.Then(snap.Monitor(), snap.AssignEgress(6))
+	network := snap.Campus(1000)
+	tmA := snap.Gravity(network, 100, 1)
+	dep, err := snap.Compile(program, network, tmA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := dep.Engine(snap.EngineOptions{Workers: 4})
+	defer eng.Close()
+	ctl := dep.Controller(eng, snap.ControllerOptions{
+		Threshold: 0.2,
+		MinSample: 100,
+		Mode:      snap.RePlace,
+	})
+
+	// Replay traffic from a *different* matrix so the observed matrix
+	// diverges, then poll the loop.
+	tmB := snap.Gravity(network, 100, 2)
+	trace := make([]snap.Ingress, 0, 600)
+	for _, uv := range tmB.Replay(600, 7) {
+		trace = append(trace, snap.Ingress{Port: uv[0], Packet: subnetPacket(uv[0], uv[1])})
+	}
+	if err := eng.InjectReplay(trace); err != nil {
+		log.Fatal(err)
+	}
+	before := eng.GlobalState()
+	rec, err := ctl.Step()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconfigured to epoch %d with %d state move(s)\n", rec.Epoch, len(rec.Plan.Moves))
+	fmt.Printf("state preserved: %v\n", eng.GlobalState().Equal(before))
+	// Output:
+	// reconfigured to epoch 1 with 1 state move(s)
+	// state preserved: true
+}

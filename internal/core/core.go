@@ -148,6 +148,28 @@ func (c *Compilation) PolicyChange(p syntax.Policy) (*Compilation, error) {
 // TopoTMChange reacts to a network event (failure, traffic shift): state
 // placement is kept, only routing re-optimizes (TE) and rules regenerate.
 func (c *Compilation) TopoTMChange(demands traffic.Matrix) (*Compilation, error) {
+	return c.topoTMRecompile(demands, func(m *place.Model) (*place.Result, error) {
+		return m.SolveTE(c.Mapping, c.Order, c.Result.Placement)
+	})
+}
+
+// TopoTMReplace reacts to a traffic shift large enough that keeping the
+// old placement would squander the optimizer's freedom: like TopoTMChange
+// it reuses every program-analysis artifact (P1–P3) and refreshes the
+// model incrementally (P4), but re-runs the joint placement-and-routing
+// solve (P5-ST), so state variables may move to new owner switches. The
+// control loop (internal/ctrl) pairs it with Engine.ApplyConfig, which
+// migrates the live state tables to the new owners during the swap.
+func (c *Compilation) TopoTMReplace(demands traffic.Matrix) (*Compilation, error) {
+	return c.topoTMRecompile(demands, func(m *place.Model) (*place.Result, error) {
+		return m.SolveST(c.Mapping, c.Order)
+	})
+}
+
+// topoTMRecompile is the shared Topo/TM-change sequence: reuse the
+// program-analysis artifacts, refresh the model incrementally, run the
+// scenario's solve, regenerate rules.
+func (c *Compilation) topoTMRecompile(demands traffic.Matrix, solve func(*place.Model) (*place.Result, error)) (*Compilation, error) {
 	n := &Compilation{
 		Policy:  c.Policy,
 		Topo:    c.Topo,
@@ -167,7 +189,7 @@ func (c *Compilation) TopoTMChange(demands traffic.Matrix) (*Compilation, error)
 
 	start = time.Now()
 	var err error
-	n.Result, err = n.Model.SolveTE(c.Mapping, c.Order, c.Result.Placement)
+	n.Result, err = solve(n.Model)
 	if err != nil {
 		return nil, err
 	}

@@ -102,6 +102,43 @@ func TestTopoTMChangeKeepsPlacement(t *testing.T) {
 	}
 }
 
+func TestTopoTMReplaceReusesAnalysisAndMayMoveState(t *testing.T) {
+	p, net, tm := pipelineInputs()
+	cold, err := core.ColdStart(p, net, tm, place.Options{Method: place.Heuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := cold.TopoTMReplace(traffic.Gravity(net, 400, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.Times.P1Deps != 0 || shifted.Times.P2XFDD != 0 || shifted.Times.P3Map != 0 {
+		t.Error("TM re-place must not re-run program analysis")
+	}
+	if shifted.Times.P5Solve <= 0 || shifted.Times.P6Rules <= 0 {
+		t.Error("TM re-place must re-solve and regenerate rules")
+	}
+	if shifted.Diagram != cold.Diagram || shifted.Mapping != cold.Mapping || shifted.Order != cold.Order {
+		t.Error("TM re-place must share the program-analysis artifacts")
+	}
+	// The solve is unconstrained (ST): every variable must have an owner,
+	// and the owner set must cover exactly the cold-start variables —
+	// locations are free to differ, which is the point of re-placing.
+	if len(shifted.Result.Placement) != len(cold.Result.Placement) {
+		t.Fatalf("placement has %d vars, want %d", len(shifted.Result.Placement), len(cold.Result.Placement))
+	}
+	for v := range cold.Result.Placement {
+		if _, ok := shifted.Result.Placement[v]; !ok {
+			t.Errorf("variable %s lost its owner", v)
+		}
+	}
+	for pair := range shifted.Demands {
+		if _, ok := shifted.Result.Routes[pair]; !ok {
+			t.Fatalf("missing route for %v", pair)
+		}
+	}
+}
+
 func TestCompileErrorsPropagate(t *testing.T) {
 	_, net, tm := pipelineInputs()
 	// A statically racy program fails in P2.

@@ -1,0 +1,326 @@
+// Package ctrl closes SNAP's control loop: it watches the live data-plane
+// engine's empirical traffic matrix, detects when it has drifted from the
+// matrix the running configuration was optimized for, recompiles
+// incrementally (the §6.2 Topo/TM-change scenario, via the PR-1
+// place.Model.Refresh fast path), plans which state variables must move to
+// new owner switches, and hot-swaps the result onto the engine with
+// Engine.ApplyConfig — without dropping in-flight packets or losing a
+// single state entry.
+//
+// The paper treats traffic-matrix change as a recompilation scenario
+// (Table 4: P5-TE + P6) but stops at producing new rules; what makes the
+// closed loop non-trivial is exactly the part the paper's runtime leaves
+// implicit — network-wide state such as a firewall's established table
+// must survive the re-route, and under re-placement it must *move*.
+// Systems like State-Compute Replication (Xu et al., 2023) and OPP
+// (Bianchi et al., 2016) identify this state relocation/consistency
+// problem as the central difficulty of stateful data planes; here the
+// engine's admission gate provides the quiescent point that makes the
+// migration atomic.
+//
+// Layers:
+//
+//	observation  Engine.ObservedMatrix  →  Monitor.Drift (TV distance)
+//	decision     Compilation.TopoTMChange / TopoTMReplace + PlanMigration
+//	actuation    Engine.ApplyConfig (pause → drain → migrate → swap)
+//
+// Controller.Step runs one iteration; callers decide the cadence (the
+// snapsim -drift demo checks between replay chunks).
+package ctrl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"snap/internal/core"
+	"snap/internal/dataplane"
+	"snap/internal/rules"
+	"snap/internal/shard"
+	"snap/internal/state"
+	"snap/internal/topo"
+	"snap/internal/traffic"
+	"snap/internal/values"
+)
+
+// Mode selects how the controller re-optimizes after drift.
+type Mode uint8
+
+const (
+	// ReRoute keeps the state placement and re-optimizes routing only
+	// (P5-TE) — the paper's Topo/TM-change scenario. State stays put, so
+	// the migration plan is empty and the swap is cheapest.
+	ReRoute Mode = iota
+	// RePlace re-runs the joint placement-and-routing solve (P5-ST) on
+	// the refreshed model, so heavily drifted traffic can pull state
+	// variables to better owner switches; their entries migrate during
+	// the swap.
+	RePlace
+)
+
+func (m Mode) String() string {
+	if m == RePlace {
+		return "re-place"
+	}
+	return "re-route"
+}
+
+// Monitor decides whether an observed matrix has drifted from the
+// reference matrix the running configuration was optimized for.
+type Monitor struct {
+	// Ref is the reference matrix (the deployment's optimization input).
+	Ref traffic.Matrix
+	// Threshold is the total-variation distance that triggers
+	// reconfiguration; traffic.Divergence normalizes volumes away, so
+	// 0.25 means a quarter of the demand mass sits on different pairs.
+	Threshold float64
+	// MinSample is the observed volume (delivered packets) required
+	// before drift is judged at all — early small samples of a bursty
+	// trace diverge spuriously.
+	MinSample float64
+}
+
+// Drift reports the divergence of obs from the reference and whether it
+// crosses the threshold (never before MinSample observations).
+func (m *Monitor) Drift(obs traffic.Matrix) (float64, bool) {
+	d := traffic.Divergence(m.Ref, obs)
+	if obs.Total() < m.MinSample {
+		return d, false
+	}
+	return d, d >= m.Threshold
+}
+
+// Move is one state variable changing owner switch.
+type Move struct {
+	Var      string
+	From, To topo.NodeID
+}
+
+// Plan is the state-migration side of a reconfiguration: which variables
+// move between switches with their names preserved, and which shard
+// families must first be folded back into their base variable
+// (shard.Merge) because the new configuration no longer knows the shard
+// names — e.g. after swapping a sharded program for an unsharded one.
+type Plan struct {
+	Moves []Move
+	Folds []shard.Plan
+	// Combine resolves index collisions while folding shards (sum for
+	// counters, or for flags); nil makes collisions an error, the right
+	// default when shards are provably disjoint per index.
+	Combine func(a, b values.Value) values.Value
+}
+
+// Empty reports whether the plan migrates nothing (routing-only swap).
+func (p Plan) Empty() bool { return len(p.Moves) == 0 && len(p.Folds) == 0 }
+
+// String renders the plan compactly for logs.
+func (p Plan) String() string {
+	if p.Empty() {
+		return "no state moves"
+	}
+	var parts []string
+	for _, mv := range p.Moves {
+		parts = append(parts, fmt.Sprintf("%s: S%d→S%d", mv.Var, mv.From, mv.To))
+	}
+	for _, f := range p.Folds {
+		parts = append(parts, fmt.Sprintf("fold %s@*→%s", f.Var, f.Var))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// PlanMigration diffs two configurations' placements into a migration
+// plan. shards lists the sharding plans active under the old
+// configuration: a family whose shard names all disappear from the new
+// placement while its base variable appears is folded (re-merged via
+// shard.Merge with combine) before moving; families whose shard names
+// survive migrate shard by shard like any other variable, since shards
+// are ordinary variables to the placement.
+func PlanMigration(old, next *rules.Config, shards []shard.Plan, combine func(a, b values.Value) values.Value) Plan {
+	p := Plan{Combine: combine}
+	folded := map[string]bool{}
+	for _, sp := range shards {
+		anyOld, anyNew := false, false
+		for _, n := range sp.Names() {
+			if _, ok := old.Placement[n]; ok {
+				anyOld = true
+			}
+			if _, ok := next.Placement[n]; ok {
+				anyNew = true
+			}
+		}
+		_, baseNew := next.Placement[sp.Var]
+		if anyOld && !anyNew && baseNew {
+			p.Folds = append(p.Folds, sp)
+			for _, n := range sp.Names() {
+				folded[n] = true
+			}
+		}
+	}
+	vars := make([]string, 0, len(old.Placement))
+	for v := range old.Placement {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		if folded[v] {
+			continue
+		}
+		to, ok := next.Placement[v]
+		if !ok {
+			// Orphan: no owner and no fold. ApplyConfig rejects it if the
+			// variable holds entries, which is the safe default.
+			continue
+		}
+		if from := old.Placement[v]; from != to {
+			p.Moves = append(p.Moves, Move{Var: v, From: from, To: to})
+		}
+	}
+	return p
+}
+
+// Rewrite returns the state transform ApplyConfig should run for this
+// plan: folding each shard family into its base variable. A plan without
+// folds needs no rewrite (nil) — plain moves are handled by re-seating.
+func (p Plan) Rewrite() dataplane.StateRewrite {
+	if len(p.Folds) == 0 {
+		return nil
+	}
+	folds, combine := p.Folds, p.Combine
+	return func(st *state.Store) (*state.Store, error) {
+		var err error
+		for _, fp := range folds {
+			if st, err = shard.Merge(st, fp, combine); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	}
+}
+
+// Reconfig records one completed reconfiguration.
+type Reconfig struct {
+	// Epoch is the engine epoch after the swap.
+	Epoch int64
+	// Divergence is the drift that triggered it.
+	Divergence float64
+	Mode       Mode
+	Plan       Plan
+	// Compile is the incremental recompilation time (P5 + P6 on reused
+	// artifacts); Times has the per-phase breakdown.
+	Compile time.Duration
+	Times   core.PhaseTimes
+	// Swap is the ApplyConfig latency: drain to quiescence, migrate
+	// state, publish the new plane.
+	Swap time.Duration
+}
+
+// Options configures a Controller.
+type Options struct {
+	// Threshold is the Monitor trigger; 0 → 0.25.
+	Threshold float64
+	// MinSample is the Monitor minimum observed volume; 0 → 500.
+	MinSample float64
+	// Mode picks ReRoute (default) or RePlace.
+	Mode Mode
+	// Shards lists the sharding plans applied to the running policy, so
+	// migration plans can fold families if a future configuration drops
+	// them; harmless to omit when the policy never changes shape.
+	Shards []shard.Plan
+	// Combine resolves shard-fold collisions (see Plan.Combine).
+	Combine func(a, b values.Value) values.Value
+}
+
+// Controller owns the closed loop for one engine. It tracks the current
+// compilation lineage: each successful Step replaces it with the
+// incremental recompilation, exactly as the engine's plane epochs advance.
+// Not safe for concurrent Step calls; drive it from one goroutine (traffic
+// may flow concurrently — the engine's gate handles that).
+type Controller struct {
+	eng     *dataplane.Engine
+	comp    *core.Compilation
+	mon     Monitor
+	opts    Options
+	history []Reconfig
+}
+
+// New builds a controller for an engine currently running comp.Config.
+func New(comp *core.Compilation, eng *dataplane.Engine, opts Options) *Controller {
+	if opts.Threshold <= 0 {
+		opts.Threshold = 0.25
+	}
+	if opts.MinSample <= 0 {
+		opts.MinSample = 500
+	}
+	return &Controller{
+		eng:  eng,
+		comp: comp,
+		mon:  Monitor{Ref: comp.Demands, Threshold: opts.Threshold, MinSample: opts.MinSample},
+		opts: opts,
+	}
+}
+
+// Drift reports the current divergence between the engine's observed
+// matrix and the reference, and whether it crosses the threshold.
+func (c *Controller) Drift() (float64, bool) {
+	return c.mon.Drift(c.eng.ObservedMatrix())
+}
+
+// Step runs one control-loop iteration: observe, and if drift crosses the
+// threshold, recompile for the observed matrix, plan the migration and
+// hot-swap the engine. Returns nil without error when no reconfiguration
+// was needed. After a swap the observation window resets and the observed
+// matrix (scaled to the reference volume) becomes the new reference.
+func (c *Controller) Step() (*Reconfig, error) {
+	obs := c.eng.ObservedMatrix()
+	div, drifted := c.mon.Drift(obs)
+	if !drifted {
+		return nil, nil
+	}
+	// Rescale the packet counts to the reference volume so link-capacity
+	// terms in the optimizer stay comparable across reconfigurations.
+	demands := obs
+	if ref := c.mon.Ref.Total(); ref > 0 {
+		demands = obs.Scale(ref / obs.Total())
+	}
+	var next *core.Compilation
+	var err error
+	switch c.opts.Mode {
+	case RePlace:
+		next, err = c.comp.TopoTMReplace(demands)
+	default:
+		next, err = c.comp.TopoTMChange(demands)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: recompile: %w", err)
+	}
+	plan := PlanMigration(c.comp.Config, next.Config, c.opts.Shards, c.opts.Combine)
+	start := time.Now()
+	if err := c.eng.ApplyConfig(next.Config, plan.Rewrite()); err != nil {
+		return nil, fmt.Errorf("ctrl: apply: %w", err)
+	}
+	swap := time.Since(start)
+	c.comp = next
+	c.mon.Ref = demands
+	c.eng.ResetObserved()
+	rec := Reconfig{
+		Epoch:      c.eng.Epoch(),
+		Divergence: div,
+		Mode:       c.opts.Mode,
+		Plan:       plan,
+		Compile:    next.Times.Total(),
+		Times:      next.Times,
+		Swap:       swap,
+	}
+	c.history = append(c.history, rec)
+	return &rec, nil
+}
+
+// Compilation returns the controller's current compilation (the lineage
+// head the engine is running).
+func (c *Controller) Compilation() *core.Compilation { return c.comp }
+
+// History lists completed reconfigurations in order.
+func (c *Controller) History() []Reconfig {
+	return append([]Reconfig(nil), c.history...)
+}

@@ -1,0 +1,214 @@
+package ctrl_test
+
+import (
+	"fmt"
+	"testing"
+
+	"snap/internal/bench"
+	"snap/internal/core"
+	"snap/internal/ctrl"
+	"snap/internal/dataplane"
+	"snap/internal/place"
+	"snap/internal/rules"
+	"snap/internal/shard"
+	"snap/internal/state"
+	"snap/internal/topo"
+	"snap/internal/traffic"
+	"snap/internal/values"
+)
+
+// TestMonitorDrift: the monitor judges total-variation drift, but never
+// before the minimum sample volume.
+func TestMonitorDrift(t *testing.T) {
+	ref := traffic.Matrix{{1, 2}: 50, {2, 1}: 50}
+	m := ctrl.Monitor{Ref: ref, Threshold: 0.25, MinSample: 100}
+
+	if d, fired := m.Drift(traffic.Matrix{{2, 1}: 10}); fired {
+		t.Fatalf("fired below MinSample (d=%.2f)", d)
+	}
+	if d, fired := m.Drift(traffic.Matrix{{1, 2}: 200, {2, 1}: 200}); fired || d != 0 {
+		t.Fatalf("identical distribution: d=%.2f fired=%v", d, fired)
+	}
+	d, fired := m.Drift(traffic.Matrix{{3, 4}: 500})
+	if !fired || d != 1 {
+		t.Fatalf("disjoint distribution: d=%.2f fired=%v, want 1.00 fired", d, fired)
+	}
+}
+
+// TestPlanMigrationMoves: a placement diff yields one move per variable
+// that changed owner; vars that stayed, or vanished without a fold,
+// contribute nothing.
+func TestPlanMigrationMoves(t *testing.T) {
+	old := &rules.Config{Placement: map[string]topo.NodeID{"a": 1, "b": 2, "gone": 3}}
+	next := &rules.Config{Placement: map[string]topo.NodeID{"a": 5, "b": 2}}
+	p := ctrl.PlanMigration(old, next, nil, nil)
+	if len(p.Folds) != 0 {
+		t.Fatalf("unexpected folds: %v", p.Folds)
+	}
+	if len(p.Moves) != 1 || p.Moves[0] != (ctrl.Move{Var: "a", From: 1, To: 5}) {
+		t.Fatalf("moves = %v, want [a: 1->5]", p.Moves)
+	}
+	if p.Rewrite() != nil {
+		t.Fatal("move-only plan should need no rewrite")
+	}
+}
+
+// TestPlanMigrationShardFold: when every shard name of a family disappears
+// from the new placement while the base variable appears, the plan folds
+// the family — the rewrite re-merges the shard stores (via shard.Merge)
+// before ApplyConfig re-seats the base variable at its owner. Shards whose
+// names survive migrate individually like ordinary variables.
+func TestPlanMigrationShardFold(t *testing.T) {
+	plan := shard.PortsPlan("count", []int{1, 2})
+
+	t.Run("folded", func(t *testing.T) {
+		old := &rules.Config{Placement: map[string]topo.NodeID{
+			"count@1": 1, "count@2": 2, "count@rest": 3, "other": 4,
+		}}
+		next := &rules.Config{Placement: map[string]topo.NodeID{"count": 7, "other": 4}}
+		p := ctrl.PlanMigration(old, next, []shard.Plan{plan}, func(a, b values.Value) values.Value {
+			return values.Int(a.AsInt() + b.AsInt())
+		})
+		if len(p.Folds) != 1 || p.Folds[0].Var != "count" {
+			t.Fatalf("folds = %v, want [count]", p.Folds)
+		}
+		if len(p.Moves) != 0 {
+			t.Fatalf("moves = %v, want none (shards fold, other stays)", p.Moves)
+		}
+
+		// The rewrite must fold the shard entries into the base variable,
+		// combining collisions.
+		st := state.NewStore()
+		st.Set("count@1", values.Tuple{values.Int(1)}, values.Int(10))
+		st.Set("count@2", values.Tuple{values.Int(2)}, values.Int(5))
+		st.Set("count@rest", values.Tuple{values.Int(2)}, values.Int(3)) // collision with count@2
+		st.Set("other", values.Tuple{values.Int(9)}, values.Bool(true))
+		rw := p.Rewrite()
+		if rw == nil {
+			t.Fatal("fold plan must produce a rewrite")
+		}
+		out, err := rw(st)
+		if err != nil {
+			t.Fatalf("rewrite: %v", err)
+		}
+		if got := out.Get("count", values.Tuple{values.Int(1)}); got.AsInt() != 10 {
+			t.Fatalf("count[1] = %v, want 10", got)
+		}
+		if got := out.Get("count", values.Tuple{values.Int(2)}); got.AsInt() != 8 {
+			t.Fatalf("count[2] = %v, want 5+3", got)
+		}
+		for _, v := range out.Vars() {
+			if v != "count" && v != "other" {
+				t.Fatalf("unexpected variable %s after fold", v)
+			}
+		}
+	})
+
+	t.Run("shards-survive", func(t *testing.T) {
+		old := &rules.Config{Placement: map[string]topo.NodeID{
+			"count@1": 1, "count@2": 2, "count@rest": 3,
+		}}
+		next := &rules.Config{Placement: map[string]topo.NodeID{
+			"count@1": 4, "count@2": 2, "count@rest": 5,
+		}}
+		p := ctrl.PlanMigration(old, next, []shard.Plan{plan}, nil)
+		if len(p.Folds) != 0 {
+			t.Fatalf("folds = %v, want none (shard names survive)", p.Folds)
+		}
+		want := []ctrl.Move{
+			{Var: "count@1", From: 1, To: 4},
+			{Var: "count@rest", From: 3, To: 5},
+		}
+		if fmt.Sprint(p.Moves) != fmt.Sprint(want) {
+			t.Fatalf("moves = %v, want %v", p.Moves, want)
+		}
+	})
+}
+
+// TestControllerSequentialEquivalence is the reconfiguration
+// end-to-end property: a trace whose matrix shifts halfway, replayed
+// through the controller (which re-places state and hot-swaps the engine
+// mid-replay), must leave the same global state as the identical trace
+// replayed on a single engine compiled once for the final matrix — the
+// monitor counters are placement-independent, so any divergence means a
+// packet or a state entry was lost in a swap. The sharded variant checks
+// the same property through shard.Merge.
+func TestControllerSequentialEquivalence(t *testing.T) {
+	netw := topo.Campus(1000)
+	tmA := traffic.Gravity(netw, 100, 1)
+	tmB := traffic.Gravity(netw, 100, 2)
+	traceA := bench.ReplayIngress(tmA.Replay(3000, 7))
+	traceB := bench.ReplayIngress(tmB.Replay(3000, 8))
+	trace := make([]dataplane.Ingress, 0, len(traceA)+len(traceB))
+	trace = append(trace, traceA...)
+	trace = append(trace, traceB...)
+	opts := dataplane.Options{Workers: 4, SwitchWorkers: 2, Window: 64}
+
+	for _, sharded := range []bool{false, true} {
+		t.Run(fmt.Sprintf("sharded=%v", sharded), func(t *testing.T) {
+			policy, err := bench.MonitorWorkload(sharded, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var shards []shard.Plan
+			if sharded {
+				shards = append(shards, shard.PortsPlan("count", []int{1, 2, 3, 4, 5, 6}))
+			}
+			comp, err := core.ColdStart(policy, netw, tmA, place.Options{Method: place.Heuristic})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := dataplane.NewEngine(comp.Config, opts)
+			defer eng.Close()
+			ctl := ctrl.New(comp, eng, ctrl.Options{
+				Threshold: 0.15,
+				MinSample: 500,
+				Mode:      ctrl.RePlace,
+				Shards:    shards,
+			})
+
+			for off := 0; off < len(trace); off += 500 {
+				end := off + 500
+				if end > len(trace) {
+					end = len(trace)
+				}
+				if err := eng.InjectReplay(trace[off:end]); err != nil {
+					t.Fatalf("replay chunk at %d: %v", off, err)
+				}
+				if _, err := ctl.Step(); err != nil {
+					t.Fatalf("controller step at %d: %v", off, err)
+				}
+			}
+			if len(ctl.History()) == 0 {
+				t.Fatal("controller never reconfigured on a shifted matrix")
+			}
+			if st := eng.Stats(); st.Injected != int64(len(trace)) || st.Injected != st.Delivered+st.Dropped {
+				t.Fatalf("packet accounting broken across swaps: %+v", st)
+			}
+
+			// Reference: one engine compiled for the final matrix, same trace.
+			refComp, err := core.ColdStart(policy, netw, tmB, place.Options{Method: place.Heuristic})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := dataplane.NewEngine(refComp.Config, opts)
+			defer ref.Close()
+			if err := ref.InjectReplay(trace); err != nil {
+				t.Fatal(err)
+			}
+			got, want := eng.GlobalState(), ref.GlobalState()
+			if sharded {
+				plan := shards[0]
+				if got, err = shard.Merge(got, plan, nil); err != nil {
+					t.Fatalf("merge controller state: %v", err)
+				}
+				if want, err = shard.Merge(want, plan, nil); err != nil {
+					t.Fatalf("merge reference state: %v", err)
+				}
+			}
+			if !got.Equal(want) {
+				t.Fatalf("state diverges from single-config run\ncontroller:\n%s\nreference:\n%s", got, want)
+			}
+		})
+	}
+}

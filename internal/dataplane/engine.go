@@ -21,6 +21,15 @@
 // updates commute (counters, monotone flags) the final global state is
 // therefore identical to any sequential order, which the engine tests
 // assert against Network.
+//
+// Reconfiguration: the compiled configuration, the switch VMs and their
+// lock sets live behind one atomically-swapped plane pointer. ApplyConfig
+// installs a recompiled rules.Config onto the live engine in an epoch-based
+// swap — pause admission, drain in-flight copies to quiescence, migrate the
+// state tables to their new owner switches, publish the new plane, resume —
+// so long-running InjectStream callers continue across the swap and no
+// packet or state entry is lost. internal/ctrl drives this from observed
+// traffic drift.
 package dataplane
 
 import (
@@ -35,6 +44,7 @@ import (
 	"snap/internal/rules"
 	"snap/internal/state"
 	"snap/internal/topo"
+	"snap/internal/traffic"
 )
 
 // Ingress is one packet entering the network at an OBS port.
@@ -65,6 +75,11 @@ type Options struct {
 	MaxHops int
 	// Stripes is the striped-lock pool size. 0 → state.DefaultStripes.
 	Stripes int
+	// InboxCapacity overrides the per-switch inbox channel capacity
+	// (0 → Window × the program's widest fork, the bound that makes
+	// inter-switch sends non-blocking). Smaller values force the tracked
+	// fallback-send path and exist for tests; leave 0 in production.
+	InboxCapacity int
 }
 
 func (o Options) withDefaults(cfg *rules.Config) Options {
@@ -120,21 +135,108 @@ func (in *injection) release(n int) {
 	}
 }
 
-// Engine is the concurrent data plane.
-type Engine struct {
+// gate is the engine's admission barrier, the mechanism behind quiescent
+// snapshots and epoch-based reconfiguration. Every injection holds an
+// enter/leave pair for its whole lifetime (admission through last-copy
+// retirement); pause blocks new admissions and waits for the in-flight
+// count to drain to zero, so between pause and resume the switch
+// goroutines are parked on empty inboxes and the state tables are frozen.
+type gate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	paused   bool
+	inflight int
+}
+
+func newGate() *gate {
+	g := &gate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// enter admits one injection, blocking while the gate is paused.
+func (g *gate) enter() {
+	g.mu.Lock()
+	for g.paused {
+		g.cond.Wait()
+	}
+	g.inflight++
+	g.mu.Unlock()
+}
+
+// leave retires one injection; the last one out wakes any pauser.
+func (g *gate) leave() {
+	g.mu.Lock()
+	g.inflight--
+	if g.inflight == 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// pause stops admission and returns once every in-flight injection has
+// completed. Concurrent pausers serialize; resume reopens the gate.
+func (g *gate) pause() {
+	g.mu.Lock()
+	for g.paused {
+		g.cond.Wait()
+	}
+	g.paused = true
+	for g.inflight > 0 {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+func (g *gate) resume() {
+	g.mu.Lock()
+	g.paused = false
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// plane is the swappable half of the engine: the compiled configuration,
+// the per-switch VMs holding the state tables, and their lock sets. step
+// and inject load it once per visit through an atomic pointer; ApplyConfig
+// publishes a replacement only while the gate holds the engine quiescent,
+// so no packet ever sees a torn configuration.
+type plane struct {
 	cfg      *rules.Config
-	opts     Options
 	switches map[topo.NodeID]*netasm.Switch
 	locks    map[topo.NodeID]state.LockSet
-	load     map[topo.NodeID]*switchCounters
-	inbox    map[topo.NodeID]chan item
-	slots    chan struct{} // global worker tokens
-	window   chan struct{} // admission control
-	stats    counters
+}
 
+// StateRewrite transforms the global state store during ApplyConfig, after
+// extraction from the old switches and before re-seating on the new owners.
+// The controller uses it to fold shard variables (shard.Merge) when the new
+// configuration no longer knows them; nil means migrate entries unchanged.
+type StateRewrite func(*state.Store) (*state.Store, error)
+
+// Engine is the concurrent data plane.
+type Engine struct {
+	topo    *topo.Topology // fixed for the engine's lifetime
+	opts    Options
+	plane   atomic.Pointer[plane]
+	stripes *state.Stripes
+	epoch   atomic.Int64
+	load    map[topo.NodeID]*switchCounters
+	inbox   map[topo.NodeID]chan item
+	slots   chan struct{} // global worker tokens
+	window  chan struct{} // admission control
+	stats   counters
+
+	// Observed per-(ingress, egress)-pair delivery counts, the engine's
+	// empirical traffic matrix (ObservedMatrix), sharded per delivery
+	// switch so the hot-path write contends only with deliveries at the
+	// same switch (mirroring the per-switch load counters).
+	obs map[topo.NodeID]*obsShard
+
+	gate   *gate
+	quit   chan struct{}  // closed by Close; releases straggler sends
+	sendWg sync.WaitGroup // fallback-send goroutines
 	wg     sync.WaitGroup // switch goroutines
 	mu     sync.Mutex     // serializes InjectBatch/InjectStream/Close
-	closed bool
+	closed atomic.Bool
 
 	failOnce sync.Once
 	failed   atomic.Bool
@@ -146,25 +248,29 @@ type Engine struct {
 // tables, independent of any Network built from the same configuration.
 // Call Close to stop the goroutines.
 //
-// Errors are sticky: a processing error (hop limit, missing state owner,
-// VM fault) aborts the current batch AND poisons the engine — every later
-// InjectBatch/InjectStream returns the first error without injecting.
-// These errors all indicate a miscompiled configuration, not bad input,
-// and the abort may have dropped copies mid-flight, so the state tables
-// are no longer trustworthy; build a fresh Engine instead of retrying.
+// Processing errors are sticky: a hop-limit overflow, missing state owner
+// or VM fault aborts the current batch AND poisons the engine — every
+// later InjectBatch/InjectStream returns the first error without
+// injecting. These errors all indicate a miscompiled configuration, and
+// the abort may have dropped copies mid-flight, so the state tables are no
+// longer trustworthy; build a fresh Engine instead of retrying. An unknown
+// ingress port, by contrast, is a caller input error: the offending
+// injection is rejected and reported, and the engine stays healthy.
 func NewEngine(cfg *rules.Config, opts Options) *Engine {
 	opts = opts.withDefaults(cfg)
 	e := &Engine{
-		cfg:      cfg,
-		opts:     opts,
-		switches: make(map[topo.NodeID]*netasm.Switch, len(cfg.Switches)),
-		locks:    make(map[topo.NodeID]state.LockSet, len(cfg.Switches)),
-		load:     make(map[topo.NodeID]*switchCounters, len(cfg.Switches)),
-		inbox:    make(map[topo.NodeID]chan item, len(cfg.Switches)),
-		slots:    make(chan struct{}, opts.Workers),
-		window:   make(chan struct{}, opts.Window),
+		topo:    cfg.Topo,
+		opts:    opts,
+		stripes: state.NewStripes(opts.Stripes),
+		load:    make(map[topo.NodeID]*switchCounters, len(cfg.Switches)),
+		inbox:   make(map[topo.NodeID]chan item, len(cfg.Switches)),
+		slots:   make(chan struct{}, opts.Workers),
+		window:  make(chan struct{}, opts.Window),
+		obs:     make(map[topo.NodeID]*obsShard, len(cfg.Switches)),
+		gate:    newGate(),
+		quit:    make(chan struct{}),
 	}
-	stripes := state.NewStripes(opts.Stripes)
+	e.plane.Store(e.buildPlane(cfg))
 	maxFork := 1
 	for _, sc := range cfg.Switches {
 		if f := sc.Prog.MaxFork(); f > maxFork {
@@ -175,11 +281,12 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 	// once, at the xFDD leaf dispatch), so inboxes of this capacity make
 	// inter-switch sends non-blocking and the channel graph deadlock-free.
 	inboxCap := opts.Window * maxFork
-	for id, sc := range cfg.Switches {
-		sw := netasm.NewSwitch(int(id), sc.Prog, sc.Owns)
-		e.switches[id] = sw
-		e.locks[id] = stripes.LockSet(sw.LockVars())
+	if opts.InboxCapacity > 0 {
+		inboxCap = opts.InboxCapacity
+	}
+	for id := range cfg.Switches {
 		e.load[id] = &switchCounters{}
+		e.obs[id] = &obsShard{counts: map[[2]int]int64{}}
 		e.inbox[id] = make(chan item, inboxCap)
 	}
 	for id := range e.inbox {
@@ -198,15 +305,37 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 	return e
 }
 
+// buildPlane instantiates switch VMs and lock sets for a configuration,
+// drawing locks from the engine's stripe pool so successive plane epochs
+// keep a consistent variable→stripe mapping.
+func (e *Engine) buildPlane(cfg *rules.Config) *plane {
+	p := &plane{
+		cfg:      cfg,
+		switches: make(map[topo.NodeID]*netasm.Switch, len(cfg.Switches)),
+		locks:    make(map[topo.NodeID]state.LockSet, len(cfg.Switches)),
+	}
+	for id, sc := range cfg.Switches {
+		sw := netasm.NewSwitch(int(id), sc.Prog, sc.Owns)
+		p.switches[id] = sw
+		p.locks[id] = e.stripes.LockSet(sw.LockVars())
+	}
+	return p
+}
+
 // Close stops the switch goroutines. The engine must be quiescent (no
 // InjectBatch/InjectStream in progress).
 func (e *Engine) Close() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
 		return
 	}
-	e.closed = true
+	e.closed.Store(true)
+	// Release any fallback-send stragglers before closing their target
+	// channels, so Close never triggers a send on a closed channel even
+	// after an abort left copies parked on full inboxes.
+	close(e.quit)
+	e.sendWg.Wait()
 	for _, ch := range e.inbox {
 		close(ch)
 	}
@@ -222,15 +351,26 @@ func (e *Engine) fail(err error) {
 	})
 }
 
-// send enqueues a copy at a switch. The capacity argument above makes the
-// fast path non-blocking; the fallback goroutine is belt-and-braces so a
-// program violating the fork-once bound degrades to extra goroutines
-// instead of deadlocking the switch pool.
+// send enqueues a copy at a switch. The capacity chosen in NewEngine makes
+// the fast path non-blocking; the fallback goroutine is belt-and-braces so
+// a program violating the fork-once bound (or a post-ApplyConfig program
+// with a wider fork than the inboxes were sized for) degrades to extra
+// goroutines instead of deadlocking the switch pool. Stragglers are
+// tracked: Close waits for them and unblocks them through the quit
+// channel, releasing their copy so no injection leaks.
 func (e *Engine) send(to topo.NodeID, it item) {
 	select {
 	case e.inbox[to] <- it:
 	default:
-		go func() { e.inbox[to] <- it }()
+		e.sendWg.Add(1)
+		go func() {
+			defer e.sendWg.Done()
+			select {
+			case e.inbox[to] <- it:
+			case <-e.quit:
+				it.inj.release(1)
+			}
+		}()
 	}
 }
 
@@ -255,6 +395,10 @@ type hop struct {
 // Options.Workers execution slots. Tokens are only held across Run, which
 // never blocks; stripe holders always progress, so neither wait can
 // deadlock.
+//
+// The plane pointer is reloaded per visit; it can only change between
+// visits of different epochs, because ApplyConfig swaps it strictly while
+// the gate holds the engine quiescent.
 func (e *Engine) step(at topo.NodeID, it item) {
 	for {
 		if e.failed.Load() {
@@ -267,8 +411,9 @@ func (e *Engine) step(at topo.NodeID, it item) {
 			return
 		}
 
-		sw := e.switches[at]
-		ls := e.locks[at]
+		pl := e.plane.Load()
+		sw := pl.switches[at]
+		ls := pl.locks[at]
 		if !ls.Empty() {
 			ls.Lock()
 		}
@@ -301,13 +446,14 @@ func (e *Engine) step(at topo.NodeID, it item) {
 
 			case netasm.Delivered:
 				e.stats.delivered.Add(1)
+				e.observe(at, r.Packet.Hdr.OBSIn, r.Packet.Hdr.OBSOut)
 				it.inj.deliver(Delivery{Port: r.Packet.Hdr.OBSOut, Packet: r.Packet.Pkt})
 				terminal++
 
 			case netasm.NeedState:
 				e.stats.suspends.Add(1)
 				e.load[at].suspends.Add(1)
-				target, ok := stateTarget(e.cfg, r)
+				target, ok := stateTarget(pl.cfg, r)
 				if !ok {
 					e.fail(fmt.Errorf("dataplane: no owner for state of packet at switch %d", at))
 					terminal++
@@ -318,7 +464,7 @@ func (e *Engine) step(at topo.NodeID, it item) {
 					terminal++
 					continue
 				}
-				next, err := nextHop(e.cfg, at, r.Packet, target)
+				next, err := nextHop(pl.cfg, at, r.Packet, target)
 				if err != nil {
 					e.fail(err)
 					terminal++
@@ -329,7 +475,7 @@ func (e *Engine) step(at topo.NodeID, it item) {
 				cont = append(cont, hop{to: next, it: item{sp: r.Packet, hops: it.hops + 1, inj: it.inj}})
 
 			case netasm.ToEgress:
-				eg, ok := e.cfg.Topo.PortByID(r.Packet.Hdr.OBSOut)
+				eg, ok := pl.cfg.Topo.PortByID(r.Packet.Hdr.OBSOut)
 				if !ok {
 					e.stats.dropped.Add(1)
 					terminal++
@@ -337,11 +483,12 @@ func (e *Engine) step(at topo.NodeID, it item) {
 				}
 				if eg.Switch == at {
 					e.stats.delivered.Add(1)
+					e.observe(at, r.Packet.Hdr.OBSIn, eg.ID)
 					it.inj.deliver(Delivery{Port: eg.ID, Packet: r.Packet.Pkt})
 					terminal++
 					continue
 				}
-				next, err := nextHop(e.cfg, at, r.Packet, eg.Switch)
+				next, err := nextHop(pl.cfg, at, r.Packet, eg.Switch)
 				if err != nil {
 					e.fail(err)
 					terminal++
@@ -365,22 +512,24 @@ func (e *Engine) step(at topo.NodeID, it item) {
 	}
 }
 
-// inject admits one packet (blocking on the window) and enqueues it at
-// its ingress switch. collect controls whether deliveries are recorded.
-// An unknown port poisons the engine like any processing error: in
-// stream mode there is no up-front validation, and packets admitted
-// before the bad one have already run.
+// inject admits one packet (blocking on the gate, then the window) and
+// enqueues it at its ingress switch. collect controls whether deliveries
+// are recorded. An unknown port rejects only this injection — the caller
+// gets the error and the engine stays usable; packets admitted before the
+// bad one have already run, which stream callers must expect.
 func (e *Engine) inject(ing Ingress, collect bool, done func()) (*injection, error) {
-	pt, ok := e.cfg.Topo.PortByID(ing.Port)
+	e.gate.enter()
+	pl := e.plane.Load()
+	pt, ok := pl.cfg.Topo.PortByID(ing.Port)
 	if !ok {
-		err := fmt.Errorf("dataplane: unknown ingress port %d", ing.Port)
-		e.fail(err)
-		return nil, err
+		e.gate.leave()
+		return nil, fmt.Errorf("dataplane: unknown ingress port %d", ing.Port)
 	}
 	e.window <- struct{}{}
 	e.stats.injected.Add(1)
 	inj := &injection{done: func() {
 		<-e.window
+		e.gate.leave()
 		done()
 	}}
 	if collect {
@@ -392,7 +541,7 @@ func (e *Engine) inject(ing Ingress, collect bool, done func()) (*injection, err
 		Hdr: netasm.Header{
 			OBSIn:  ing.Port,
 			OBSOut: -1,
-			Node:   e.cfg.RootID,
+			Node:   pl.cfg.RootID,
 			Seq:    -1,
 			Phase:  netasm.PhaseEval,
 		},
@@ -411,15 +560,18 @@ func (e *Engine) inject(ing Ingress, collect bool, done func()) (*injection, err
 func (e *Engine) InjectBatch(batch []Ingress) ([][]Delivery, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
 		return nil, fmt.Errorf("dataplane: engine is closed")
 	}
 	// Validate every ingress port before admitting anything: a bad port
 	// must not leave the first half of the batch silently executed.
 	for i, ing := range batch {
-		if _, ok := e.cfg.Topo.PortByID(ing.Port); !ok {
+		if _, ok := e.topo.PortByID(ing.Port); !ok {
 			return nil, fmt.Errorf("dataplane: unknown ingress port %d (batch index %d)", ing.Port, i)
 		}
+	}
+	if e.failed.Load() {
+		return nil, e.err
 	}
 	out := make([][]Delivery, len(batch))
 	injs := make([]*injection, 0, len(batch))
@@ -438,7 +590,7 @@ func (e *Engine) InjectBatch(batch []Ingress) ([][]Delivery, error) {
 		injs = append(injs, inj)
 	}
 	batchWg.Wait()
-	if e.err != nil {
+	if e.failed.Load() {
 		return nil, e.err
 	}
 	for i, inj := range injs {
@@ -457,7 +609,9 @@ func (e *Engine) InjectBatch(batch []Ingress) ([][]Delivery, error) {
 // InjectStream consumes ingress from ch until it closes, applying the same
 // admission control as InjectBatch, and waits for quiescence. Deliveries
 // are counted in Stats but not collected, so arbitrarily long replays run
-// in constant memory. Returns the first processing error, if any.
+// in constant memory. Returns the first error: a processing error (which
+// poisons the engine) or a bad ingress port (which does not — the stream
+// stops there, but the engine remains usable).
 func (e *Engine) InjectStream(ch <-chan Ingress) error {
 	return e.stream(func() (Ingress, bool) {
 		ing, ok := <-ch
@@ -471,8 +625,11 @@ func (e *Engine) InjectStream(ch <-chan Ingress) error {
 func (e *Engine) stream(next func() (Ingress, bool)) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
 		return fmt.Errorf("dataplane: engine is closed")
+	}
+	if e.failed.Load() {
+		return e.err
 	}
 	var wg sync.WaitGroup
 	for {
@@ -488,7 +645,10 @@ func (e *Engine) stream(next func() (Ingress, bool)) error {
 		}
 	}
 	wg.Wait()
-	return e.err
+	if e.failed.Load() {
+		return e.err
+	}
+	return nil
 }
 
 // InjectReplay pushes a pre-built trace through the plane in stream mode
@@ -507,12 +667,140 @@ func (e *Engine) InjectReplay(trace []Ingress) error {
 	})
 }
 
+// ApplyConfig installs a recompiled configuration on the live engine: an
+// epoch-based hot swap that preserves every state entry. The sequence is
+//
+//  1. pause — the admission gate stops new injections (InjectBatch and
+//     InjectStream callers block mid-call and continue afterwards) and
+//     waits for all in-flight copies to retire, leaving the switch
+//     goroutines parked on empty inboxes;
+//  2. migrate — the per-switch state tables are unioned into the global
+//     store, passed through rewrite (nil = identity; internal/ctrl uses it
+//     to fold shard variables the new configuration no longer knows), and
+//     re-seated variable by variable on each one's new owner switch;
+//  3. swap — fresh VMs with the migrated tables, the new programs and new
+//     routes are published atomically as the next plane epoch, and the
+//     gate resumes admission.
+//
+// The new configuration must target the same physical network (same
+// switch count, same OBS port→switch attachment); routing, placement and
+// programs are free to change. A state variable with entries but no owner
+// under the new placement is an error — fold or drop it in rewrite. The
+// inbox channels keep their original capacity; if the new programs fork
+// wider than the engine was sized for, sends degrade to tracked fallback
+// goroutines instead of misbehaving. ApplyConfig must not race with Close.
+func (e *Engine) ApplyConfig(cfg *rules.Config, rewrite StateRewrite) error {
+	if err := e.compatible(cfg); err != nil {
+		return err
+	}
+	e.gate.pause()
+	defer e.gate.resume()
+	if e.closed.Load() {
+		return fmt.Errorf("dataplane: engine is closed")
+	}
+	if e.failed.Load() {
+		return fmt.Errorf("dataplane: cannot reconfigure a poisoned engine: %w", e.err)
+	}
+	old := e.plane.Load()
+	global := unionState(old.switches)
+	if rewrite != nil {
+		var err error
+		if global, err = rewrite(global); err != nil {
+			return fmt.Errorf("dataplane: state rewrite: %w", err)
+		}
+	}
+	next := e.buildPlane(cfg)
+	for _, v := range global.Vars() {
+		owner, ok := cfg.Placement[v]
+		if !ok {
+			return fmt.Errorf("dataplane: state variable %s has no owner under the new configuration (fold or drop it in the rewrite)", v)
+		}
+		next.switches[owner].Tables.CopyVar(global, v)
+	}
+	e.plane.Store(next)
+	e.epoch.Add(1)
+	return nil
+}
+
+// compatible checks a new configuration targets the engine's physical
+// network: switch IDs index the inbox map and port attachments decide
+// where injections enter, so both must be preserved across epochs.
+func (e *Engine) compatible(cfg *rules.Config) error {
+	t := cfg.Topo
+	if t.Switches != e.topo.Switches {
+		return fmt.Errorf("dataplane: ApplyConfig topology has %d switches, engine has %d", t.Switches, e.topo.Switches)
+	}
+	if len(t.Ports) != len(e.topo.Ports) {
+		return fmt.Errorf("dataplane: ApplyConfig topology has %d ports, engine has %d", len(t.Ports), len(e.topo.Ports))
+	}
+	for _, p := range t.Ports {
+		q, ok := e.topo.PortByID(p.ID)
+		if !ok || q.Switch != p.Switch {
+			return fmt.Errorf("dataplane: ApplyConfig port %d does not match the engine's topology", p.ID)
+		}
+	}
+	return nil
+}
+
+// Epoch counts the configurations this engine has run: 0 at NewEngine,
+// +1 per successful ApplyConfig.
+func (e *Engine) Epoch() int64 { return e.epoch.Load() }
+
+// Config returns the configuration of the current plane epoch.
+func (e *Engine) Config() *rules.Config { return e.plane.Load().cfg }
+
+// obsShard accumulates delivered-pair counts at one switch.
+type obsShard struct {
+	mu     sync.Mutex
+	counts map[[2]int]int64
+}
+
+// observe records one delivery (at switch `at`) in the empirical matrix.
+func (e *Engine) observe(at topo.NodeID, in, out int) {
+	s := e.obs[at]
+	s.mu.Lock()
+	s.counts[[2]int{in, out}]++
+	s.mu.Unlock()
+}
+
+// ObservedMatrix returns the engine's empirical traffic matrix: delivered
+// packet counts per (ingress, egress) OBS port pair since the last
+// ResetObserved. It is safe to call mid-stream (each per-switch shard is
+// a live, internally consistent snapshot) and is what ctrl.Monitor
+// compares against the matrix the running configuration was optimized
+// for.
+func (e *Engine) ObservedMatrix() traffic.Matrix {
+	m := traffic.Matrix{}
+	for _, s := range e.obs {
+		s.mu.Lock()
+		for k, c := range s.counts {
+			m[k] += float64(c)
+		}
+		s.mu.Unlock()
+	}
+	return m
+}
+
+// ResetObserved clears the empirical traffic matrix, starting a fresh
+// observation window (the controller calls it after each reconfiguration).
+func (e *Engine) ResetObserved() {
+	for _, s := range e.obs {
+		s.mu.Lock()
+		s.counts = map[[2]int]int64{}
+		s.mu.Unlock()
+	}
+}
+
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats { return e.stats.snapshot() }
 
-// Load reports each switch's share of the work performed so far. Take it
-// when quiescent (outside InjectBatch/InjectStream) for exact numbers.
+// Load reports each switch's share of the work performed so far. The
+// snapshot is taken under the admission gate (in-flight traffic drains
+// first), so the numbers are exact and mutually consistent even when
+// called concurrently with InjectStream.
 func (e *Engine) Load() map[topo.NodeID]SwitchLoad {
+	e.gate.pause()
+	defer e.gate.resume()
 	out := make(map[topo.NodeID]SwitchLoad, len(e.load))
 	for id, c := range e.load {
 		out[id] = c.snapshot()
@@ -521,8 +809,26 @@ func (e *Engine) Load() map[topo.NodeID]SwitchLoad {
 }
 
 // GlobalState unions the per-switch state tables, as Network.GlobalState.
-// Only meaningful when the engine is quiescent.
-func (e *Engine) GlobalState() *state.Store { return unionState(e.switches) }
+// The union is built under the admission gate: new injections pause and
+// in-flight copies drain first, so the snapshot is a consistent quiescent
+// point even when taken mid-stream, and the returned store is a copy that
+// later traffic cannot mutate.
+func (e *Engine) GlobalState() *state.Store {
+	e.gate.pause()
+	defer e.gate.resume()
+	return unionState(e.plane.Load().switches)
+}
 
-// SwitchTable exposes one switch's tables (tests and diagnostics).
-func (e *Engine) SwitchTable(id topo.NodeID) *state.Store { return switchTable(e.switches, id) }
+// SwitchTable snapshots one switch's tables (tests and diagnostics),
+// under the same gate discipline as GlobalState. Unlike
+// Network.SwitchTable it returns a copy: the live tables may move to a
+// different owner at the next ApplyConfig.
+func (e *Engine) SwitchTable(id topo.NodeID) *state.Store {
+	e.gate.pause()
+	defer e.gate.resume()
+	tbl := switchTable(e.plane.Load().switches, id)
+	if tbl == nil {
+		return nil
+	}
+	return tbl.Clone()
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 
 	"snap/internal/apps"
@@ -248,6 +249,248 @@ func TestEngineStreamAndLoad(t *testing.T) {
 	}
 	if forwarded != st.Hops {
 		t.Fatalf("per-switch forwarded %d != global hops %d", forwarded, st.Hops)
+	}
+}
+
+// countSum adds up every binding of the count* variables in a store.
+func countSum(st *state.Store) int64 {
+	var n int64
+	for _, v := range st.Vars() {
+		if v != "count" && !strings.HasPrefix(v, "count@") {
+			continue
+		}
+		for _, e := range st.Entries(v) {
+			n += e.Val.AsInt()
+		}
+	}
+	return n
+}
+
+// TestEngineBadPortDoesNotPoison: an unknown ingress port mid-stream is a
+// caller input error. The stream reports it, but the engine must stay
+// usable — the old behavior routed it through fail(), permanently
+// poisoning every later batch.
+func TestEngineBadPortDoesNotPoison(t *testing.T) {
+	netw := topo.Campus(1000)
+	plane, _ := deploy(t, campusWorkload(apps.Monitor()), netw, nil)
+	eng := dataplane.NewEngine(plane.Config(), dataplane.Options{SwitchWorkers: 2, Window: 16})
+	defer eng.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	trace := make([]dataplane.Ingress, 0, 21)
+	for i := 0; i < 20; i++ {
+		port, pk := campusPacket(rng)
+		trace = append(trace, dataplane.Ingress{Port: port, Packet: pk})
+	}
+	trace = append(trace, dataplane.Ingress{Port: 9999, Packet: pkt.New(map[pkt.Field]values.Value{})})
+
+	if err := eng.InjectReplay(trace); err == nil {
+		t.Fatal("expected unknown-port error from InjectReplay")
+	}
+	if got := countSum(eng.GlobalState()); got != 20 {
+		t.Fatalf("pre-error packets: counted %d, want 20", got)
+	}
+
+	// The engine must accept new work after the input error.
+	batch := make([]dataplane.Ingress, 0, 10)
+	for i := 0; i < 10; i++ {
+		port, pk := campusPacket(rng)
+		batch = append(batch, dataplane.Ingress{Port: port, Packet: pk})
+	}
+	if _, err := eng.InjectBatch(batch); err != nil {
+		t.Fatalf("InjectBatch after bad-port stream: %v", err)
+	}
+	if got := countSum(eng.GlobalState()); got != 30 {
+		t.Fatalf("after recovery batch: counted %d, want 30", got)
+	}
+	ch := make(chan dataplane.Ingress, 1)
+	close(ch)
+	if err := eng.InjectStream(ch); err != nil {
+		t.Fatalf("InjectStream after bad-port stream: %v", err)
+	}
+}
+
+// TestEngineFallbackSendClose: with the inbox capacity forced below the
+// fork bound, multicast sends overflow onto the fallback-goroutine path.
+// Those stragglers must be tracked so the engine drains, Close never
+// panics on a closed channel, and nothing leaks — run under -race.
+func TestEngineFallbackSendClose(t *testing.T) {
+	netw := topo.Campus(1000)
+	// Every packet forks: one copy to port 5, one to port 6 — a
+	// fork-heavy plane whose inter-switch sends constantly collide with
+	// the 1-slot inboxes.
+	p := syntax.Then(
+		apps.Assumption(6),
+		syntax.Par(
+			syntax.Assign(pkt.Outport, values.Int(5)),
+			syntax.Assign(pkt.Outport, values.Int(6)),
+		),
+	)
+	plane, _ := deploy(t, p, netw, nil)
+	eng := dataplane.NewEngine(plane.Config(), dataplane.Options{
+		Workers:       4,
+		SwitchWorkers: 2,
+		Window:        64,
+		InboxCapacity: 1,
+	})
+
+	rng := rand.New(rand.NewSource(9))
+	trace := make([]dataplane.Ingress, 0, 400)
+	for i := 0; i < 400; i++ {
+		port, pk := campusPacket(rng)
+		trace = append(trace, dataplane.Ingress{Port: port, Packet: pk})
+	}
+	if err := eng.InjectReplay(trace); err != nil {
+		t.Fatalf("InjectReplay: %v", err)
+	}
+	st := eng.Stats()
+	if st.Delivered != 2*int64(len(trace)) {
+		t.Fatalf("delivered %d copies, want %d", st.Delivered, 2*len(trace))
+	}
+	// Close waits out straggler senders before closing their channels; a
+	// regression here panics (send on closed channel) or hangs.
+	eng.Close()
+}
+
+// TestEngineSnapshotsMidStream: GlobalState/SwitchTable/Load taken while
+// traffic is in flight must not race with the VM state writes (the gate
+// drains in-flight copies first). Run under -race.
+func TestEngineSnapshotsMidStream(t *testing.T) {
+	netw := topo.Campus(1000)
+	plane, _ := deploy(t, campusWorkload(apps.Monitor()), netw, nil)
+	eng := dataplane.NewEngine(plane.Config(), dataplane.Options{Workers: 4, SwitchWorkers: 2, Window: 16})
+	defer eng.Close()
+
+	rng := rand.New(rand.NewSource(21))
+	trace := make([]dataplane.Ingress, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		port, pk := campusPacket(rng)
+		trace = append(trace, dataplane.Ingress{Port: port, Packet: pk})
+	}
+	done := make(chan error, 1)
+	go func() { done <- eng.InjectReplay(trace) }()
+
+	owner := plane.Config().Placement["count"]
+	var last int64
+	for i := 0; i < 40; i++ {
+		st := eng.GlobalState()
+		if n := countSum(st); n < last {
+			t.Errorf("snapshot %d: count sum went backwards (%d -> %d)", i, last, n)
+		} else {
+			last = n
+		}
+		eng.SwitchTable(owner)
+		eng.Load()
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("InjectReplay: %v", err)
+	}
+	if n := countSum(eng.GlobalState()); n != int64(len(trace)) {
+		t.Fatalf("final count sum %d, want %d", n, len(trace))
+	}
+}
+
+// TestEngineApplyConfigMigratesState: a hot swap onto a configuration with
+// a different owner for the state variable must carry every entry to the
+// new owner switch, leave the global view unchanged, and keep serving
+// traffic that accumulates on the migrated entries.
+func TestEngineApplyConfigMigratesState(t *testing.T) {
+	netw := topo.Campus(1000)
+	p := campusWorkload(apps.Monitor())
+	from, to := topo.NodeID(8), topo.NodeID(2)
+	planeA, _ := deploy(t, p, netw, map[string]topo.NodeID{"count": from})
+	planeB, _ := deploy(t, p, netw, map[string]topo.NodeID{"count": to})
+
+	eng := dataplane.NewEngine(planeA.Config(), dataplane.Options{SwitchWorkers: 2, Window: 16})
+	defer eng.Close()
+
+	rng := rand.New(rand.NewSource(31))
+	batch := make([]dataplane.Ingress, 0, 200)
+	for i := 0; i < 200; i++ {
+		port, pk := campusPacket(rng)
+		batch = append(batch, dataplane.Ingress{Port: port, Packet: pk})
+	}
+	if _, err := eng.InjectBatch(batch); err != nil {
+		t.Fatalf("warm batch: %v", err)
+	}
+	before := eng.GlobalState()
+	if len(eng.SwitchTable(from).Entries("count")) == 0 {
+		t.Fatal("expected count entries at the original owner")
+	}
+
+	if err := eng.ApplyConfig(planeB.Config(), nil); err != nil {
+		t.Fatalf("ApplyConfig: %v", err)
+	}
+	if e := eng.Epoch(); e != 1 {
+		t.Fatalf("Epoch = %d, want 1", e)
+	}
+	if !eng.GlobalState().Equal(before) {
+		t.Fatalf("global state changed across swap:\nbefore:\n%s\nafter:\n%s", before, eng.GlobalState())
+	}
+	if n := len(eng.SwitchTable(to).Entries("count")); n == 0 {
+		t.Fatal("count entries did not arrive at the new owner")
+	}
+	if n := len(eng.SwitchTable(from).Entries("count")); n != 0 {
+		t.Fatalf("old owner still holds %d count entries", n)
+	}
+
+	// Traffic after the swap keeps accumulating on the migrated entries.
+	if _, err := eng.InjectBatch(batch); err != nil {
+		t.Fatalf("post-swap batch: %v", err)
+	}
+	if n := countSum(eng.GlobalState()); n != 2*int64(len(batch)) {
+		t.Fatalf("count sum after swap %d, want %d", n, 2*len(batch))
+	}
+}
+
+// TestEngineApplyConfigMidStream: ApplyConfig issued while an InjectStream
+// is feeding must swap between packets — the stream continues across the
+// epoch, no packet or state entry is lost.
+func TestEngineApplyConfigMidStream(t *testing.T) {
+	netw := topo.Campus(1000)
+	p := campusWorkload(apps.Monitor())
+	planeA, _ := deploy(t, p, netw, map[string]topo.NodeID{"count": 8})
+	planeB, _ := deploy(t, p, netw, map[string]topo.NodeID{"count": 2})
+
+	eng := dataplane.NewEngine(planeA.Config(), dataplane.Options{Workers: 4, SwitchWorkers: 2, Window: 16})
+	defer eng.Close()
+
+	const n = 1500
+	ch := make(chan dataplane.Ingress)
+	done := make(chan error, 1)
+	go func() { done <- eng.InjectStream(ch) }()
+
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < n; i++ {
+		port, pk := campusPacket(rng)
+		ch <- dataplane.Ingress{Port: port, Packet: pk}
+		switch i {
+		case 500:
+			if err := eng.ApplyConfig(planeB.Config(), nil); err != nil {
+				t.Errorf("ApplyConfig #1: %v", err)
+			}
+		case 1000:
+			if err := eng.ApplyConfig(planeA.Config(), nil); err != nil {
+				t.Errorf("ApplyConfig #2: %v", err)
+			}
+		}
+	}
+	close(ch)
+	if err := <-done; err != nil {
+		t.Fatalf("InjectStream: %v", err)
+	}
+	if e := eng.Epoch(); e != 2 {
+		t.Fatalf("Epoch = %d, want 2", e)
+	}
+	st := eng.Stats()
+	if st.Injected != n {
+		t.Fatalf("Injected = %d, want %d", st.Injected, n)
+	}
+	if lost := st.Injected - st.Delivered - st.Dropped; lost != 0 {
+		t.Fatalf("%d packets lost across swaps", lost)
+	}
+	if got := countSum(eng.GlobalState()); got != n {
+		t.Fatalf("count sum %d, want %d", got, n)
 	}
 }
 

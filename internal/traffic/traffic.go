@@ -76,8 +76,8 @@ func (m Matrix) Total() float64 {
 	return s
 }
 
-// Pairs returns the ordered pairs with nonzero demand, sorted for
-// deterministic iteration.
+// Pairs returns every ordered pair present in the matrix (including
+// explicit zero-demand entries), sorted for deterministic iteration.
 func (m Matrix) Pairs() [][2]int {
 	out := make([][2]int, 0, len(m))
 	for k := range m {
@@ -96,16 +96,27 @@ func (m Matrix) Pairs() [][2]int {
 // probability proportional to its demand — a packet-level trace whose
 // empirical distribution converges to the matrix. The same seed always
 // yields the same trace, so load tests and benchmarks are repeatable.
+// Pairs with zero (or negative) demand never appear in the trace: they
+// carry no probability mass, and keeping them in the cumulative table
+// would let boundary draws (rng.Float64() returning exactly a repeated
+// cumulative value, e.g. 0) select them anyway. A matrix with no positive
+// demand has nothing to sample and returns nil.
 func (m Matrix) Replay(n int, seed int64) [][2]int {
-	pairs := m.Pairs()
-	if len(pairs) == 0 || n <= 0 {
+	if n <= 0 {
 		return nil
 	}
-	cum := make([]float64, len(pairs))
+	pairs := make([][2]int, 0, len(m))
+	cum := make([]float64, 0, len(m))
 	var total float64
-	for i, p := range pairs {
-		total += m[p]
-		cum[i] = total
+	for _, p := range m.Pairs() {
+		if d := m[p]; d > 0 {
+			total += d
+			pairs = append(pairs, p)
+			cum = append(cum, total)
+		}
+	}
+	if len(pairs) == 0 || total <= 0 {
+		return nil
 	}
 	rng := rand.New(rand.NewSource(seed))
 	out := make([][2]int, n)
@@ -118,6 +129,34 @@ func (m Matrix) Replay(n int, seed int64) [][2]int {
 		out[i] = pairs[j]
 	}
 	return out
+}
+
+// Divergence is the total-variation distance between the demand
+// distributions of two matrices: both are normalized to sum 1 and the
+// result is half the L1 difference, in [0, 1]. Absolute volume cancels
+// out, so an empirical packet-count matrix (Engine.ObservedMatrix)
+// compares directly against the volume-scaled matrix a deployment was
+// optimized for — the drift signal ctrl.Monitor thresholds. Two empty (or
+// all-zero) matrices are identical (0); one empty versus one loaded is
+// maximal drift (1).
+func Divergence(a, b Matrix) float64 {
+	ta, tb := a.Total(), b.Total()
+	if ta <= 0 && tb <= 0 {
+		return 0
+	}
+	if ta <= 0 || tb <= 0 {
+		return 1
+	}
+	var d float64
+	for k, av := range a {
+		d += math.Abs(av/ta - b[k]/tb)
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			d += bv / tb
+		}
+	}
+	return d / 2
 }
 
 // Scale returns a copy of m with every demand multiplied by f.

@@ -89,3 +89,58 @@ func TestDegenerateTopologies(t *testing.T) {
 		t.Fatalf("single-port matrix must be empty: %v", m)
 	}
 }
+
+// TestReplayZeroTotal: a matrix with no positive demand has nothing to
+// sample. The old code fabricated a full trace of pairs[0] (every draw of
+// rng.Float64()*0 == 0 landed on the first cumulative slot).
+func TestReplayZeroTotal(t *testing.T) {
+	net := topo.Campus(100)
+	if tr := Gravity(net, 100, 1).Scale(0).Replay(50, 3); tr != nil {
+		t.Fatalf("all-zero matrix produced a %d-packet trace", len(tr))
+	}
+	if tr := (Matrix{}).Replay(50, 3); tr != nil {
+		t.Fatalf("empty matrix produced a %d-packet trace", len(tr))
+	}
+	if tr := (Matrix{{1, 2}: 0, {2, 1}: 0}).Replay(50, 3); tr != nil {
+		t.Fatalf("explicit-zero matrix produced a %d-packet trace", len(tr))
+	}
+}
+
+// TestReplaySkipsZeroDemandPairs: explicit zero-demand pairs carry no
+// probability mass and must never appear in a trace — in particular not
+// through boundary draws that land exactly on a repeated cumulative value
+// (a zero-demand pair sorted first is hit whenever the draw is exactly 0).
+func TestReplaySkipsZeroDemandPairs(t *testing.T) {
+	m := Matrix{{1, 2}: 0, {2, 3}: 1, {3, 4}: 0, {4, 5}: 2}
+	for seed := int64(0); seed < 20; seed++ {
+		for _, p := range m.Replay(500, seed) {
+			if m[p] == 0 {
+				t.Fatalf("seed %d: sampled zero-demand pair %v", seed, p)
+			}
+		}
+	}
+}
+
+// TestDivergence: total-variation distance of the normalized demand
+// distributions — volume-invariant, 0 for identical shapes, 1 for
+// disjoint supports, symmetric.
+func TestDivergence(t *testing.T) {
+	a := Matrix{{1, 2}: 30, {2, 1}: 70}
+	if d := Divergence(a, a.Scale(42)); d != 0 {
+		t.Fatalf("scaled copy diverges by %v, want 0", d)
+	}
+	if d := Divergence(a, Matrix{{5, 6}: 1}); d != 1 {
+		t.Fatalf("disjoint supports diverge by %v, want 1", d)
+	}
+	b := Matrix{{1, 2}: 70, {2, 1}: 30}
+	d1, d2 := Divergence(a, b), Divergence(b, a)
+	if math.Abs(d1-0.4) > 1e-12 || d1 != d2 {
+		t.Fatalf("Divergence(a,b)=%v Divergence(b,a)=%v, want 0.4 both", d1, d2)
+	}
+	if d := Divergence(Matrix{}, Matrix{}); d != 0 {
+		t.Fatalf("two empty matrices diverge by %v", d)
+	}
+	if d := Divergence(Matrix{}, a); d != 1 {
+		t.Fatalf("empty vs loaded diverge by %v, want 1", d)
+	}
+}
