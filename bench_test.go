@@ -396,3 +396,47 @@ func BenchmarkPlacementTE(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFailover measures the full controller-driven recovery from a
+// switch kill under replicated state placement: degraded-topology
+// recompile + replica promotion + hot swap. Each iteration kills the
+// counter's owner on a freshly warmed engine.
+func BenchmarkFailover(b *testing.B) {
+	network := snap.Campus(1000)
+	tm := snap.Gravity(network, 100, 1)
+	policy, err := bench.MonitorWorkload(false, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep, err := snap.Compile(policy, network, tm, snap.WithHeuristicOptimizer(), snap.WithReplication(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	owner := dep.Placement()["count"]
+	im, err := dep.AssessFailure(snap.SwitchFailure(owner))
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := bench.ReplayIngress(tm.Restrict(im.Degraded).Replay(2048, 7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng := dep.Engine(snap.EngineOptions{Workers: 4, SwitchWorkers: 2, Window: 256})
+		ctl := dep.Controller(eng, snap.ControllerOptions{})
+		if err := eng.InjectReplay(warm); err != nil {
+			b.Fatal(err)
+		}
+		eng.FlushReplication()
+		b.StartTimer()
+		rep, err := ctl.Failover(snap.SwitchFailure(owner))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if rep.LostEntries != 0 {
+			b.Fatalf("lost %d entries", rep.LostEntries)
+		}
+		eng.Close()
+		b.StartTimer()
+	}
+}

@@ -34,7 +34,7 @@ type report struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|throughput|reconfig|all")
+	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|throughput|reconfig|failover|all")
 	scaleName := flag.String("scale", "ci", "scale preset: ci|full")
 	jsonPath := flag.String("json", "", "also write the collected rows as JSON to this file (e.g. BENCH.json)")
 	flag.Parse()
@@ -122,6 +122,14 @@ func main() {
 			rep.Experiments[name] = rows
 			fmt.Printf("== Live reconfiguration: hot swap vs cold restart, campus monitor workload (scale=%s) ==\n%s\n",
 				scale.Name, bench.FormatReconfig(rows))
+		case "failover":
+			rows, err := bench.Failover(scale)
+			if err != nil {
+				return err
+			}
+			rep.Experiments[name] = rows
+			fmt.Printf("== Failover: mid-stream switch kill, replicated vs unreplicated state (scale=%s) ==\n%s\n",
+				scale.Name, bench.FormatFailover(rows))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -130,7 +138,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table3", "table4", "table5", "table6", "fig9", "fig10", "fig11", "throughput", "reconfig"}
+		names = []string{"table3", "table4", "table5", "table6", "fig9", "fig10", "fig11", "throughput", "reconfig", "failover"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

@@ -9,6 +9,7 @@ import (
 	"snap/internal/core"
 	"snap/internal/ctrl"
 	"snap/internal/dataplane"
+	"snap/internal/fault"
 	"snap/internal/place"
 	"snap/internal/rules"
 	"snap/internal/topo"
@@ -31,6 +32,17 @@ func WithExactOptimizer() CompileOption {
 // WithHeuristicOptimizer forces the scalable heuristic engine.
 func WithHeuristicOptimizer() CompileOption {
 	return func(c *compileConfig) { c.opts.Method = place.Heuristic }
+}
+
+// WithReplication sets the state replication factor K: each state
+// variable gets a primary owner plus K-1 backup owners on distinct
+// switches. The engine mirrors the primary's writes to the backups
+// asynchronously, and Controller.Failover promotes a backup when the
+// primary switch dies — so a switch failure loses at most the writes
+// still in the mirror queue (the replica lag). K ≤ 1 disables
+// replication.
+func WithReplication(k int) CompileOption {
+	return func(c *compileConfig) { c.opts.Replicas = k }
 }
 
 // PhaseTimes re-exports the per-phase compiler timings (Table 4/6).
@@ -86,6 +98,36 @@ const (
 	ReRoute = ctrl.ReRoute
 	RePlace = ctrl.RePlace
 )
+
+// FailureEvent is one failure scenario: switches and/or undirected links
+// going down together (internal/fault).
+type FailureEvent = fault.Scenario
+
+// FailureImpact is the assessed cost of a failure scenario: surviving
+// topology, partitioning, lost ports, orphaned state variables.
+type FailureImpact = fault.Impact
+
+// FailoverEvent records one completed controller-driven failover:
+// promotions, recovered and lost state, and latency.
+type FailoverEvent = ctrl.FailoverReport
+
+// ReplicaStats reports the engine's asynchronous state-replication
+// pipeline: writes enqueued/applied, the replica lag, and writes lost to
+// switch failures.
+type ReplicaStats = dataplane.ReplicaStats
+
+// SwitchFailure builds the single-switch failure event.
+func SwitchFailure(n NodeID) FailureEvent { return fault.SwitchDown(n) }
+
+// LinkFailure builds the single-link failure event (both directions).
+func LinkFailure(a, b NodeID) FailureEvent { return fault.LinkDown(a, b) }
+
+// FailureScenarios enumerates the failure scenarios of a topology: every
+// single switch, every single undirected link, plus `correlated` random
+// correlated switch pairs (0 = none).
+func FailureScenarios(t *Topology, correlated int, seed int64) []FailureEvent {
+	return fault.Enumerate(t, fault.Options{Correlated: correlated, Seed: seed})
+}
 
 // Deployment is a compiled SNAP program running on a simulated network.
 type Deployment struct {
@@ -192,6 +234,43 @@ func (d *Deployment) Replace(tm TrafficMatrix) (*Deployment, error) {
 		return nil, err
 	}
 	return &Deployment{comp: comp, plane: dataplane.New(comp.Config)}, nil
+}
+
+// Failover recompiles this deployment for the surviving network after a
+// failure event: the degraded topology is derived, demand on lost ports is
+// restricted away, and placement and routing re-solve on the alive
+// switches (replicas included, under WithReplication). Like Reroute and
+// Replace this is the *compile-side* scenario — the returned deployment
+// starts with fresh state; to recover a live engine with its state
+// (replica promotion, bounded loss), use Controller.Failover instead.
+func (d *Deployment) Failover(ev FailureEvent) (*Deployment, error) {
+	degraded, err := d.comp.Topo.Degrade(ev.Switches, ev.Links)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := d.comp.TopoFailover(degraded, d.comp.Demands)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{comp: comp, plane: dataplane.New(comp.Config)}, nil
+}
+
+// AssessFailure reports what a failure event would cost this deployment:
+// the surviving topology, whether it is partitioned, the external ports
+// lost, the orphaned state variables, and which of them no surviving
+// replica covers.
+func (d *Deployment) AssessFailure(ev FailureEvent) (FailureImpact, error) {
+	return fault.Assess(d.comp.Topo, d.comp.Result.Placement, d.comp.Result.Replicas, ev)
+}
+
+// Replicas reports each state variable's backup owner switches in
+// promotion-preference order (empty without WithReplication).
+func (d *Deployment) Replicas() map[string][]NodeID {
+	out := make(map[string][]NodeID, len(d.comp.Result.Replicas))
+	for v, rs := range d.comp.Result.Replicas {
+		out[v] = append([]NodeID(nil), rs...)
+	}
+	return out
 }
 
 // Controller builds the drift-driven control loop for an engine running

@@ -93,7 +93,7 @@ func ColdStart(p syntax.Policy, t *topo.Topology, demands traffic.Matrix, opts p
 	c.Times.P5Solve = time.Since(start)
 
 	start = time.Now()
-	c.Config, err = rules.Generate(d, t, c.Result.Placement, c.Result.Routes)
+	c.Config, err = rules.GenerateReplicated(d, t, c.Result.Placement, c.Result.Replicas, c.Result.Routes)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +137,7 @@ func (c *Compilation) PolicyChange(p syntax.Policy) (*Compilation, error) {
 	n.Times.P5Solve = time.Since(start)
 
 	start = time.Now()
-	n.Config, err = rules.Generate(d, c.Topo, n.Result.Placement, n.Result.Routes)
+	n.Config, err = rules.GenerateReplicated(d, c.Topo, n.Result.Placement, n.Result.Replicas, n.Result.Routes)
 	if err != nil {
 		return nil, err
 	}
@@ -164,6 +164,50 @@ func (c *Compilation) TopoTMReplace(demands traffic.Matrix) (*Compilation, error
 	return c.topoTMRecompile(demands, func(m *place.Model) (*place.Result, error) {
 		return m.SolveST(c.Mapping, c.Order)
 	})
+}
+
+// TopoFailover recompiles onto a degraded topology after a failure: the
+// program-analysis artifacts (P1, P2) are reused — the policy did not
+// change — but the packet-state mapping is rebuilt for the surviving port
+// set (P3), the optimization model is rebuilt because shortest paths
+// changed (P4), and the joint solve (P5-ST) re-places state on alive
+// switches and re-routes the surviving demand pairs. Demands on lost ports
+// are restricted away; the caller (ctrl.Controller.Failover) pairs the
+// result with Engine.Failover to promote replica state owners.
+func (c *Compilation) TopoFailover(degraded *topo.Topology, demands traffic.Matrix) (*Compilation, error) {
+	demands = demands.Restrict(degraded)
+	n := &Compilation{
+		Policy:  c.Policy,
+		Topo:    degraded,
+		Demands: demands,
+		Opts:    c.Opts,
+		Order:   c.Order,
+		Diagram: c.Diagram,
+	}
+
+	start := time.Now()
+	n.Mapping = psmap.Build(c.Diagram, degraded.PortIDs())
+	n.Times.P3Map = time.Since(start)
+
+	start = time.Now()
+	n.Model = place.NewModel(degraded, demands, c.Opts)
+	n.Times.P4Model = time.Since(start)
+
+	start = time.Now()
+	var err error
+	n.Result, err = n.Model.SolveST(n.Mapping, n.Order)
+	if err != nil {
+		return nil, err
+	}
+	n.Times.P5Solve = time.Since(start)
+
+	start = time.Now()
+	n.Config, err = rules.GenerateReplicated(c.Diagram, degraded, n.Result.Placement, n.Result.Replicas, n.Result.Routes)
+	if err != nil {
+		return nil, err
+	}
+	n.Times.P6Rules = time.Since(start)
+	return n, nil
 }
 
 // topoTMRecompile is the shared Topo/TM-change sequence: reuse the
@@ -196,7 +240,7 @@ func (c *Compilation) topoTMRecompile(demands traffic.Matrix, solve func(*place.
 	n.Times.P5Solve = time.Since(start) + modelTime
 
 	start = time.Now()
-	n.Config, err = rules.Generate(c.Diagram, c.Topo, n.Result.Placement, n.Result.Routes)
+	n.Config, err = rules.GenerateReplicated(c.Diagram, c.Topo, n.Result.Placement, n.Result.Replicas, n.Result.Routes)
 	if err != nil {
 		return nil, err
 	}

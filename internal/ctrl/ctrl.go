@@ -36,6 +36,7 @@ import (
 
 	"snap/internal/core"
 	"snap/internal/dataplane"
+	"snap/internal/fault"
 	"snap/internal/rules"
 	"snap/internal/shard"
 	"snap/internal/state"
@@ -277,11 +278,20 @@ func (c *Controller) Step() (*Reconfig, error) {
 	if !drifted {
 		return nil, nil
 	}
+	// The observed matrix folds drops in, keyed under egress -1 when the
+	// intended egress was never known — right for the drift signal, but
+	// not routable demand. Restrict to real port pairs before handing the
+	// matrix to the optimizer (and adopting it as the new reference).
+	demands := obs.Restrict(c.comp.Topo)
+	if demands.Total() <= 0 {
+		// Everything observed was unattributable drops; there is no
+		// routable demand to re-optimize for.
+		return nil, nil
+	}
 	// Rescale the packet counts to the reference volume so link-capacity
 	// terms in the optimizer stay comparable across reconfigurations.
-	demands := obs
 	if ref := c.mon.Ref.Total(); ref > 0 {
-		demands = obs.Scale(ref / obs.Total())
+		demands = demands.Scale(ref / demands.Total())
 	}
 	var next *core.Compilation
 	var err error
@@ -314,6 +324,110 @@ func (c *Controller) Step() (*Reconfig, error) {
 	}
 	c.history = append(c.history, rec)
 	return &rec, nil
+}
+
+// FailoverReport records one completed controller-driven failover.
+type FailoverReport struct {
+	// Scenario is the failure handled.
+	Scenario fault.Scenario
+	// Epoch is the engine epoch after the recovery swap.
+	Epoch int64
+	// Plan is the migration diff old→new placement; moves leaving a dead
+	// switch are the promotions.
+	Plan Plan
+	// Promoted maps each orphaned state variable recovered from a replica
+	// to its new primary owner; Recovered counts the entries restored.
+	Promoted  map[string]topo.NodeID
+	Recovered int
+	// LostVars/LostEntries are orphans with no surviving replica;
+	// LostWrites counts replica-lag writes discarded at failure time. The
+	// total state loss is bounded by the lag plus unreplicated variables —
+	// zero when every variable had a quiescent surviving replica.
+	LostVars    []string
+	LostEntries int
+	LostWrites  int64
+	// LostPorts are external ports that died with their switch; their
+	// demand is no longer served (or accepted).
+	LostPorts []int
+	// Compile is the degraded-topology recompilation time (P3–P6); Swap
+	// the Engine.Failover drain-recover-publish latency.
+	Compile time.Duration
+	Times   core.PhaseTimes
+	Swap    time.Duration
+}
+
+// Failover recovers from a failure event: it injects the failure into the
+// engine (idempotent — the event may already have been injected by whoever
+// detected it), derives the degraded topology, recompiles placement and
+// routing on the surviving graph with the reference demand restricted to
+// surviving ports (core.TopoFailover), plans the migration — promotions
+// included — and installs the result with Engine.Failover, which sources
+// orphaned state from the replicas the replication-aware placement put in
+// place. The controller's lineage, reference matrix and observation window
+// advance to the degraded network, so subsequent Step calls keep watching
+// drift on the surviving topology.
+//
+// A failure that partitions the surviving switches is refused: demand
+// across partitions cannot be routed, so recovery needs operator intent
+// (e.g. a second scenario failing the minority side).
+func (c *Controller) Failover(s fault.Scenario) (*FailoverReport, error) {
+	degraded, err := c.comp.Topo.Degrade(s.Switches, s.Links)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: failover: %w", err)
+	}
+	if !degraded.UpConnected() {
+		return nil, fmt.Errorf("ctrl: failover %s would partition the surviving switches; refusing automatic recovery", s)
+	}
+	for _, sw := range s.Switches {
+		if err := c.eng.FailSwitch(sw); err != nil {
+			return nil, fmt.Errorf("ctrl: failover: %w", err)
+		}
+	}
+	for _, l := range s.Links {
+		if err := c.eng.FailLink(l[0], l[1]); err != nil {
+			return nil, fmt.Errorf("ctrl: failover: %w", err)
+		}
+	}
+	var lostPorts []int
+	for _, p := range c.comp.Topo.Ports {
+		if _, ok := degraded.PortByID(p.ID); !ok {
+			lostPorts = append(lostPorts, p.ID)
+		}
+	}
+	sort.Ints(lostPorts)
+
+	demands := c.mon.Ref.Restrict(degraded)
+	if len(demands) == 0 {
+		return nil, fmt.Errorf("ctrl: failover %s leaves no surviving demand pairs", s)
+	}
+	next, err := c.comp.TopoFailover(degraded, demands)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: failover recompile: %w", err)
+	}
+	plan := PlanMigration(c.comp.Config, next.Config, c.opts.Shards, c.opts.Combine)
+	start := time.Now()
+	fs, err := c.eng.Failover(next.Config, plan.Rewrite())
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: failover apply: %w", err)
+	}
+	swap := time.Since(start)
+	c.comp = next
+	c.mon.Ref = next.Demands
+	c.eng.ResetObserved()
+	return &FailoverReport{
+		Scenario:    s,
+		Epoch:       c.eng.Epoch(),
+		Plan:        plan,
+		Promoted:    fs.Promoted,
+		Recovered:   fs.Recovered,
+		LostVars:    fs.LostVars,
+		LostEntries: fs.LostEntries,
+		LostWrites:  fs.LostWrites,
+		LostPorts:   lostPorts,
+		Compile:     next.Times.Total(),
+		Times:       next.Times,
+		Swap:        swap,
+	}, nil
 }
 
 // Compilation returns the controller's current compilation (the lineage

@@ -4,14 +4,18 @@ import (
 	"fmt"
 	"testing"
 
+	"snap/internal/apps"
 	"snap/internal/bench"
 	"snap/internal/core"
 	"snap/internal/ctrl"
 	"snap/internal/dataplane"
+	"snap/internal/fault"
+	"snap/internal/pkt"
 	"snap/internal/place"
 	"snap/internal/rules"
 	"snap/internal/shard"
 	"snap/internal/state"
+	"snap/internal/syntax"
 	"snap/internal/topo"
 	"snap/internal/traffic"
 	"snap/internal/values"
@@ -210,5 +214,145 @@ func TestControllerSequentialEquivalence(t *testing.T) {
 				t.Fatalf("state diverges from single-config run\ncontroller:\n%s\nreference:\n%s", got, want)
 			}
 		})
+	}
+}
+
+// TestFailoverSequentialEquivalence is the fault-tolerance end-to-end
+// property: a replay interrupted by a switch kill and controller-driven
+// failover must end in the same surviving global state — and deliver the
+// same packet count — as the identical replay on an engine compiled
+// directly for the degraded topology, modulo the reported lost entries
+// (zero here: replicas are quiescent at the kill).
+func TestFailoverSequentialEquivalence(t *testing.T) {
+	netw := topo.Campus(1000)
+	tm := traffic.Gravity(netw, 100, 1)
+	policy, err := bench.MonitorWorkload(false, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.ColdStart(policy, netw, tm, place.Options{Method: place.Heuristic, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := comp.Config.Placement["count"]
+	degraded, err := netw.Degrade([]topo.NodeID{victim}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both runs process exactly the surviving traffic, so the comparison
+	// is not muddied by packets the reference cannot accept.
+	tmD := tm.Restrict(degraded)
+	trace := bench.ReplayIngress(tmD.Replay(4000, 7))
+	opts := dataplane.Options{Workers: 4, SwitchWorkers: 2, Window: 64}
+
+	eng := dataplane.NewEngine(comp.Config, opts)
+	defer eng.Close()
+	ctl := ctrl.New(comp, eng, ctrl.Options{})
+	if err := eng.InjectReplay(trace[:2000]); err != nil {
+		t.Fatal(err)
+	}
+	eng.FlushReplication()
+	rep, err := ctl.Failover(fault.SwitchDown(victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LostEntries != 0 || rep.LostWrites != 0 {
+		t.Fatalf("lost state despite quiescent replicas: %+v", rep)
+	}
+	if _, ok := rep.Promoted["count"]; !ok {
+		t.Fatalf("count not promoted: %+v", rep.Promoted)
+	}
+	if eng.Epoch() != rep.Epoch || rep.Epoch == 0 {
+		t.Fatalf("epoch bookkeeping: engine %d, report %d", eng.Epoch(), rep.Epoch)
+	}
+	if err := eng.InjectReplay(trace[2000:]); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Injected != int64(len(trace)) || st.Delivered != st.Injected {
+		t.Fatalf("surviving traffic not fully delivered: %+v", st)
+	}
+	// The drift loop keeps running on the degraded network.
+	if _, err := ctl.Step(); err != nil {
+		t.Fatalf("control loop broken after failover: %v", err)
+	}
+
+	// Reference: an engine born on the degraded network, same trace.
+	refComp, err := core.ColdStart(policy, degraded, tmD, place.Options{Method: place.Heuristic, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := dataplane.NewEngine(refComp.Config, opts)
+	defer ref.Close()
+	if err := ref.InjectReplay(trace); err != nil {
+		t.Fatal(err)
+	}
+	got, want := eng.GlobalState(), ref.GlobalState()
+	if !got.Equal(want) {
+		t.Fatalf("kill-and-failover state diverges from degraded-born engine\nfailover:\n%s\nreference:\n%s", got, want)
+	}
+}
+
+// TestFailoverRefusesPartition: a failure that splits the survivors cannot
+// be recovered automatically.
+func TestFailoverRefusesPartition(t *testing.T) {
+	netw := topo.Campus(1000)
+	tm := traffic.Gravity(netw, 100, 1)
+	policy, err := bench.MonitorWorkload(false, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.ColdStart(policy, netw, tm, place.Options{Method: place.Heuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := dataplane.NewEngine(comp.Config, dataplane.Options{})
+	defer eng.Close()
+	ctl := ctrl.New(comp, eng, ctrl.Options{})
+	// Cutting both of D3's links strands it.
+	ev := fault.Scenario{Name: "strand-D3", Links: [][2]topo.NodeID{{4, 10}, {4, 8}}}
+	if _, err := ctl.Failover(ev); err == nil {
+		t.Fatal("partitioning failure accepted")
+	}
+	// The refusal must leave the engine untouched: epoch 0, traffic flows.
+	if eng.Epoch() != 0 {
+		t.Fatalf("refused failover advanced the epoch to %d", eng.Epoch())
+	}
+}
+
+// TestStepSanitizesDroppedDemand: the observed matrix folds drops in under
+// egress -1; when drift fires, those unroutable keys must not reach the
+// optimizer or become the new reference — only real port pairs do.
+func TestStepSanitizesDroppedDemand(t *testing.T) {
+	netw := topo.Campus(1000)
+	tmA := traffic.Gravity(netw, 100, 1)
+	tmB := traffic.Gravity(netw, 100, 2)
+	// Drop everything entering at port 1; deliver the rest.
+	policy := syntax.Then(apps.Assumption(6), syntax.Then(
+		syntax.Cond(syntax.FieldEq(pkt.Inport, values.Int(1)), syntax.Nothing(), syntax.Id()),
+		apps.AssignEgress(6)))
+	comp, err := core.ColdStart(policy, netw, tmA, place.Options{Method: place.Heuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := dataplane.NewEngine(comp.Config, dataplane.Options{Workers: 2})
+	defer eng.Close()
+	ctl := ctrl.New(comp, eng, ctrl.Options{Threshold: 0.15, MinSample: 500})
+	if err := eng.InjectReplay(bench.ReplayIngress(tmB.Replay(3000, 3))); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ctl.Step()
+	if err != nil {
+		t.Fatalf("step on a drop-heavy observed matrix: %v", err)
+	}
+	if rec == nil {
+		t.Fatal("shifted drop-heavy matrix did not trigger reconfiguration")
+	}
+	for pr := range ctl.Compilation().Demands {
+		if _, ok := netw.PortByID(pr[0]); !ok {
+			t.Fatalf("adopted demand pair %v has a phantom ingress", pr)
+		}
+		if _, ok := netw.PortByID(pr[1]); !ok {
+			t.Fatalf("adopted demand pair %v has a phantom egress (drop key leaked)", pr)
+		}
 	}
 }

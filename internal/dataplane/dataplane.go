@@ -175,17 +175,24 @@ func stateTarget(cfg *rules.Config, r netasm.Result) (topo.NodeID, bool) {
 // fallback, guaranteed to make progress. Once only the egress remains, the
 // optimizer's (u,v) match-action entry is preferred.
 func nextHop(cfg *rules.Config, at topo.NodeID, sp netasm.SimPacket, target topo.NodeID) (topo.NodeID, error) {
+	n, _, err := nextHopLink(cfg, at, sp, target)
+	return n, err
+}
+
+// nextHopLink is nextHop exposing the traversed link index, so the engine
+// can honor injected link failures (a send over a dead link drops).
+func nextHopLink(cfg *rules.Config, at topo.NodeID, sp netasm.SimPacket, target topo.NodeID) (topo.NodeID, int, error) {
 	sc := cfg.Switches[at]
 	if sp.Hdr.OBSOut >= 0 && sp.Hdr.Phase == netasm.PhaseDeliver && len(sp.Hdr.Pending) == 0 {
 		if li, ok := sc.RouteNext[[2]int{sp.Hdr.OBSIn, sp.Hdr.OBSOut}]; ok {
-			return cfg.Topo.Links[li].To, nil
+			return cfg.Topo.Links[li].To, li, nil
 		}
 	}
 	li := sc.SPNext[target]
 	if li < 0 {
-		return 0, fmt.Errorf("dataplane: switch %d cannot reach switch %d", at, target)
+		return 0, -1, fmt.Errorf("dataplane: switch %d cannot reach switch %d", at, target)
 	}
-	return cfg.Topo.Links[li].To, nil
+	return cfg.Topo.Links[li].To, li, nil
 }
 
 // GlobalState unions the per-switch state tables. Placement puts each

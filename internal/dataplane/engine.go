@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -80,6 +81,11 @@ type Options struct {
 	// inter-switch sends non-blocking). Smaller values force the tracked
 	// fallback-send path and exist for tests; leave 0 in production.
 	InboxCapacity int
+	// ManualReplication disables the background mirror-drain goroutine:
+	// state writes queue until FlushReplication (or a reconfiguration)
+	// pumps them. It makes replica lag deterministic and exists for tests
+	// of the bounded-loss accounting; leave false in production.
+	ManualReplication bool
 }
 
 func (o Options) withDefaults(cfg *rules.Config) Options {
@@ -214,7 +220,6 @@ type StateRewrite func(*state.Store) (*state.Store, error)
 
 // Engine is the concurrent data plane.
 type Engine struct {
-	topo    *topo.Topology // fixed for the engine's lifetime
 	opts    Options
 	plane   atomic.Pointer[plane]
 	stripes *state.Stripes
@@ -224,6 +229,23 @@ type Engine struct {
 	slots   chan struct{} // global worker tokens
 	window  chan struct{} // admission control
 	stats   counters
+
+	// Failure injection (failure.go): down switches drop everything queued
+	// at them, dead links drop copies sent across them. The switch count is
+	// fixed for the engine's lifetime, so down is indexed by NodeID.
+	down      []atomic.Bool
+	linkMu    sync.Mutex // serializes FailLink writers
+	deadLinks atomic.Pointer[map[[2]topo.NodeID]bool]
+
+	// Asynchronous state replication (replication.go); nil when the
+	// configuration carries no replicas. repMu guards the pointer: apply
+	// swaps it (under the gate, after a flush) while FailSwitch and the
+	// stats accessors may fire from other goroutines at any time. repLost
+	// survives replicator swaps: it counts mirror writes discarded by
+	// switch failures (the replica-lag loss).
+	repMu   sync.Mutex
+	rep     *replicator
+	repLost atomic.Int64
 
 	// Observed per-(ingress, egress)-pair delivery counts, the engine's
 	// empirical traffic matrix (ObservedMatrix), sharded per delivery
@@ -259,7 +281,6 @@ type Engine struct {
 func NewEngine(cfg *rules.Config, opts Options) *Engine {
 	opts = opts.withDefaults(cfg)
 	e := &Engine{
-		topo:    cfg.Topo,
 		opts:    opts,
 		stripes: state.NewStripes(opts.Stripes),
 		load:    make(map[topo.NodeID]*switchCounters, len(cfg.Switches)),
@@ -267,10 +288,13 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 		slots:   make(chan struct{}, opts.Workers),
 		window:  make(chan struct{}, opts.Window),
 		obs:     make(map[topo.NodeID]*obsShard, len(cfg.Switches)),
+		down:    make([]atomic.Bool, cfg.Topo.Switches),
 		gate:    newGate(),
 		quit:    make(chan struct{}),
 	}
-	e.plane.Store(e.buildPlane(cfg))
+	e.rep = newReplicator(e, cfg)
+	e.plane.Store(e.buildPlane(cfg, e.rep))
+	e.rep.start()
 	maxFork := 1
 	for _, sc := range cfg.Switches {
 		if f := sc.Prog.MaxFork(); f > maxFork {
@@ -286,7 +310,7 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 	}
 	for id := range cfg.Switches {
 		e.load[id] = &switchCounters{}
-		e.obs[id] = &obsShard{counts: map[[2]int]int64{}}
+		e.obs[id] = &obsShard{counts: map[[2]int]int64{}, drops: map[[2]int]int64{}}
 		e.inbox[id] = make(chan item, inboxCap)
 	}
 	for id := range e.inbox {
@@ -308,7 +332,7 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 // buildPlane instantiates switch VMs and lock sets for a configuration,
 // drawing locks from the engine's stripe pool so successive plane epochs
 // keep a consistent variable→stripe mapping.
-func (e *Engine) buildPlane(cfg *rules.Config) *plane {
+func (e *Engine) buildPlane(cfg *rules.Config, rep *replicator) *plane {
 	p := &plane{
 		cfg:      cfg,
 		switches: make(map[topo.NodeID]*netasm.Switch, len(cfg.Switches)),
@@ -316,6 +340,9 @@ func (e *Engine) buildPlane(cfg *rules.Config) *plane {
 	}
 	for id, sc := range cfg.Switches {
 		sw := netasm.NewSwitch(int(id), sc.Prog, sc.Owns)
+		if hook := rep.hookFor(id, sc.Owns); hook != nil {
+			sw.OnStateWrite = hook
+		}
 		p.switches[id] = sw
 		p.locks[id] = e.stripes.LockSet(sw.LockVars())
 	}
@@ -340,6 +367,7 @@ func (e *Engine) Close() {
 		close(ch)
 	}
 	e.wg.Wait()
+	e.replicator().stop()
 }
 
 // fail records the first error and aborts outstanding work: remaining
@@ -405,6 +433,15 @@ func (e *Engine) step(at topo.NodeID, it item) {
 			it.inj.release(1)
 			return
 		}
+		if e.down[at].Load() {
+			// The switch died with this copy queued at it (or in flight
+			// toward it): the copy is lost. Observe the drop so the
+			// empirical matrix still reflects the offered load.
+			e.stats.dropped.Add(1)
+			e.observeDrop(at, it.sp.Hdr.OBSIn, it.sp.Hdr.OBSOut)
+			it.inj.release(1)
+			return
+		}
 		if it.hops > e.opts.MaxHops {
 			e.fail(fmt.Errorf("dataplane: hop limit exceeded at switch %d (forwarding loop?)", at))
 			it.inj.release(1)
@@ -442,6 +479,7 @@ func (e *Engine) step(at topo.NodeID, it item) {
 			switch r.Outcome {
 			case netasm.Dropped:
 				e.stats.dropped.Add(1)
+				e.observeDrop(at, r.Packet.Hdr.OBSIn, -1)
 				terminal++
 
 			case netasm.Delivered:
@@ -464,9 +502,15 @@ func (e *Engine) step(at topo.NodeID, it item) {
 					terminal++
 					continue
 				}
-				next, err := nextHop(pl.cfg, at, r.Packet, target)
+				next, li, err := nextHopLink(pl.cfg, at, r.Packet, target)
 				if err != nil {
 					e.fail(err)
+					terminal++
+					continue
+				}
+				if e.linkDead(pl.cfg.Topo.Links[li]) {
+					e.stats.dropped.Add(1)
+					e.observeDrop(at, r.Packet.Hdr.OBSIn, r.Packet.Hdr.OBSOut)
 					terminal++
 					continue
 				}
@@ -478,6 +522,7 @@ func (e *Engine) step(at topo.NodeID, it item) {
 				eg, ok := pl.cfg.Topo.PortByID(r.Packet.Hdr.OBSOut)
 				if !ok {
 					e.stats.dropped.Add(1)
+					e.observeDrop(at, r.Packet.Hdr.OBSIn, -1)
 					terminal++
 					continue
 				}
@@ -488,9 +533,15 @@ func (e *Engine) step(at topo.NodeID, it item) {
 					terminal++
 					continue
 				}
-				next, err := nextHop(pl.cfg, at, r.Packet, eg.Switch)
+				next, li, err := nextHopLink(pl.cfg, at, r.Packet, eg.Switch)
 				if err != nil {
 					e.fail(err)
+					terminal++
+					continue
+				}
+				if e.linkDead(pl.cfg.Topo.Links[li]) {
+					e.stats.dropped.Add(1)
+					e.observeDrop(at, r.Packet.Hdr.OBSIn, r.Packet.Hdr.OBSOut)
 					terminal++
 					continue
 				}
@@ -565,8 +616,9 @@ func (e *Engine) InjectBatch(batch []Ingress) ([][]Delivery, error) {
 	}
 	// Validate every ingress port before admitting anything: a bad port
 	// must not leave the first half of the batch silently executed.
+	batchTopo := e.plane.Load().cfg.Topo
 	for i, ing := range batch {
-		if _, ok := e.topo.PortByID(ing.Port); !ok {
+		if _, ok := batchTopo.PortByID(ing.Port); !ok {
 			return nil, fmt.Errorf("dataplane: unknown ingress port %d (batch index %d)", ing.Port, i)
 		}
 	}
@@ -690,56 +742,193 @@ func (e *Engine) InjectReplay(trace []Ingress) error {
 // wider than the engine was sized for, sends degrade to tracked fallback
 // goroutines instead of misbehaving. ApplyConfig must not race with Close.
 func (e *Engine) ApplyConfig(cfg *rules.Config, rewrite StateRewrite) error {
-	if err := e.compatible(cfg); err != nil {
+	// A failed switch must stay failed in the new configuration: applying
+	// a topology that treats it as up would silently re-seat state (and
+	// route traffic) onto a dead switch. Recover through Failover first;
+	// post-failover ApplyConfig calls carry the degraded topology and
+	// pass. The port sets must still match exactly — a surviving network
+	// neither grows nor loses ports outside the failover path.
+	for n := range e.down {
+		if e.down[n].Load() && cfg.Topo.Up(topo.NodeID(n)) {
+			return fmt.Errorf("dataplane: switch %d has failed; reconfigure through Failover with a degraded-topology configuration", n)
+		}
+	}
+	if err := e.compatible(cfg, false); err != nil {
 		return err
 	}
+	_, err := e.apply(cfg, rewrite, false)
+	return err
+}
+
+// apply is the shared swap sequence of ApplyConfig and Failover. In
+// degraded mode, state owned by down switches is recovered from replica
+// stores (promotion) or reported lost; otherwise an entry-holding variable
+// without a new owner is an error.
+func (e *Engine) apply(cfg *rules.Config, rewrite StateRewrite, degraded bool) (*FailoverStats, error) {
 	e.gate.pause()
 	defer e.gate.resume()
 	if e.closed.Load() {
-		return fmt.Errorf("dataplane: engine is closed")
+		return nil, fmt.Errorf("dataplane: engine is closed")
 	}
 	if e.failed.Load() {
-		return fmt.Errorf("dataplane: cannot reconfigure a poisoned engine: %w", e.err)
+		return nil, fmt.Errorf("dataplane: cannot reconfigure a poisoned engine: %w", e.err)
 	}
+	// Mirror writes still queued at alive primaries reach the replica
+	// stores before any of them is read or discarded.
+	e.replicator().flush()
+
+	fs := &FailoverStats{Promoted: map[string]topo.NodeID{}}
 	old := e.plane.Load()
-	global := unionState(old.switches)
+	global := e.unionUpState(old.switches)
+	if degraded {
+		e.recoverOrphans(old, cfg, global, fs)
+	}
 	if rewrite != nil {
 		var err error
 		if global, err = rewrite(global); err != nil {
-			return fmt.Errorf("dataplane: state rewrite: %w", err)
+			return nil, fmt.Errorf("dataplane: state rewrite: %w", err)
 		}
 	}
-	next := e.buildPlane(cfg)
+
+	// Build the new configuration's replicator and hook the new switch VMs
+	// into it; seed the new replica stores from the recovered global state
+	// so backups are warm from the first post-swap packet. The engine's
+	// live replicator is only swapped once the apply cannot fail anymore.
+	newRep := newReplicator(e, cfg)
+	newRep.seed(global)
+	next := e.buildPlane(cfg, newRep)
 	for _, v := range global.Vars() {
 		owner, ok := cfg.Placement[v]
 		if !ok {
-			return fmt.Errorf("dataplane: state variable %s has no owner under the new configuration (fold or drop it in the rewrite)", v)
+			return nil, fmt.Errorf("dataplane: state variable %s has no owner under the new configuration (fold or drop it in the rewrite)", v)
+		}
+		if !cfg.Topo.Up(owner) {
+			return nil, fmt.Errorf("dataplane: state variable %s placed on down switch %d", v, owner)
 		}
 		next.switches[owner].Tables.CopyVar(global, v)
 	}
 	e.plane.Store(next)
 	e.epoch.Add(1)
-	return nil
+	e.repMu.Lock()
+	oldRep := e.rep
+	e.rep = newRep
+	e.repMu.Unlock()
+	oldRep.stop()
+	newRep.start()
+	fs.LostWrites = e.repLost.Load()
+	return fs, nil
+}
+
+// replicator returns the live replication pipeline (possibly nil) under
+// the pointer lock.
+func (e *Engine) replicator() *replicator {
+	e.repMu.Lock()
+	defer e.repMu.Unlock()
+	return e.rep
+}
+
+// recoverOrphans sources the entries of variables whose primary owner is
+// down: the first alive replica in promotion-preference order (per the old
+// configuration) is authoritative; with no surviving replica the entries
+// are lost and only counted. Victim tables are never read — a dead
+// switch's memory is unreachable by definition; the simulator merely still
+// holds it, which is what lets the loss be counted exactly.
+func (e *Engine) recoverOrphans(old *plane, cfg *rules.Config, global *state.Store, fs *FailoverStats) {
+	oldCfg := old.cfg
+	vars := make([]string, 0, len(oldCfg.Placement))
+	for v := range oldCfg.Placement {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		owner := oldCfg.Placement[v]
+		if !e.down[owner].Load() {
+			continue
+		}
+		if rst := e.replicator().aliveReplica(v); rst != nil {
+			global.CopyVar(rst, v)
+			fs.Recovered += len(rst.Entries(v))
+			if newOwner, ok := cfg.Placement[v]; ok {
+				fs.Promoted[v] = newOwner
+			}
+			continue
+		}
+		if victim := old.switches[owner]; victim != nil {
+			if n := len(victim.Tables.Entries(v)); n > 0 {
+				fs.LostVars = append(fs.LostVars, v)
+				fs.LostEntries += n
+			}
+		}
+	}
 }
 
 // compatible checks a new configuration targets the engine's physical
 // network: switch IDs index the inbox map and port attachments decide
-// where injections enter, so both must be preserved across epochs.
-func (e *Engine) compatible(cfg *rules.Config) error {
+// where injections enter, so both must be preserved across epochs. In
+// degraded mode the new topology may have *fewer* ports (a dead switch
+// takes its ports with it), but every surviving port must keep its
+// attachment; otherwise the port sets must match exactly. Mismatches
+// report the precise per-port diff — the failover path and its operators
+// need to see exactly which attachment moved, not a bare rejection.
+func (e *Engine) compatible(cfg *rules.Config, degraded bool) error {
 	t := cfg.Topo
-	if t.Switches != e.topo.Switches {
-		return fmt.Errorf("dataplane: ApplyConfig topology has %d switches, engine has %d", t.Switches, e.topo.Switches)
+	cur := e.plane.Load().cfg.Topo
+	if t.Switches != cur.Switches {
+		return fmt.Errorf("dataplane: ApplyConfig topology has %d switches, engine has %d", t.Switches, cur.Switches)
 	}
-	if len(t.Ports) != len(e.topo.Ports) {
-		return fmt.Errorf("dataplane: ApplyConfig topology has %d ports, engine has %d", len(t.Ports), len(e.topo.Ports))
-	}
-	for _, p := range t.Ports {
-		q, ok := e.topo.PortByID(p.ID)
-		if !ok || q.Switch != p.Switch {
-			return fmt.Errorf("dataplane: ApplyConfig port %d does not match the engine's topology", p.ID)
-		}
+	if diff := portDiff(cur, t, degraded); diff != "" {
+		return fmt.Errorf("dataplane: ApplyConfig topology port mismatch: %s", diff)
 	}
 	return nil
+}
+
+// portDiff describes how topology b's external ports differ from a's:
+// added ports, removed ports (allowed when removedOK), and re-attached
+// ports (never allowed — injections would enter at the wrong switch).
+// Empty means compatible.
+func portDiff(a, b *topo.Topology, removedOK bool) string {
+	var added, removed, moved []string
+	for _, p := range b.Ports {
+		if q, ok := a.PortByID(p.ID); !ok {
+			added = append(added, fmt.Sprintf("port %d (switch %d) not on the engine's network", p.ID, p.Switch))
+		} else if q.Switch != p.Switch {
+			moved = append(moved, fmt.Sprintf("port %d attached to switch %d, engine has it on switch %d", p.ID, p.Switch, q.Switch))
+		}
+	}
+	for _, p := range a.Ports {
+		if _, ok := b.PortByID(p.ID); !ok {
+			removed = append(removed, fmt.Sprintf("port %d (switch %d) missing from the new topology", p.ID, p.Switch))
+		}
+	}
+	var parts []string
+	parts = append(parts, moved...)
+	parts = append(parts, added...)
+	if !removedOK {
+		parts = append(parts, removed...)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "; ")
+}
+
+// unionUpState unions the state tables of alive switches only: a down
+// switch's memory is gone with it.
+func (e *Engine) unionUpState(switches map[topo.NodeID]*netasm.Switch) *state.Store {
+	out := state.NewStore()
+	ids := make([]topo.NodeID, 0, len(switches))
+	for id := range switches {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if e.down[id].Load() {
+			continue
+		}
+		sw := switches[id]
+		for _, v := range sw.Tables.Vars() {
+			out.CopyVar(sw.Tables, v)
+		}
+	}
+	return out
 }
 
 // Epoch counts the configurations this engine has run: 0 at NewEngine,
@@ -749,10 +938,11 @@ func (e *Engine) Epoch() int64 { return e.epoch.Load() }
 // Config returns the configuration of the current plane epoch.
 func (e *Engine) Config() *rules.Config { return e.plane.Load().cfg }
 
-// obsShard accumulates delivered-pair counts at one switch.
+// obsShard accumulates delivered- and dropped-pair counts at one switch.
 type obsShard struct {
 	mu     sync.Mutex
 	counts map[[2]int]int64
+	drops  map[[2]int]int64
 }
 
 // observe records one delivery (at switch `at`) in the empirical matrix.
@@ -763,12 +953,30 @@ func (e *Engine) observe(at topo.NodeID, in, out int) {
 	s.mu.Unlock()
 }
 
-// ObservedMatrix returns the engine's empirical traffic matrix: delivered
-// packet counts per (ingress, egress) OBS port pair since the last
-// ResetObserved. It is safe to call mid-stream (each per-switch shard is
-// a live, internally consistent snapshot) and is what ctrl.Monitor
-// compares against the matrix the running configuration was optimized
-// for.
+// observeDrop records one dropped copy against its ingress port, keyed by
+// the intended egress when the packet already knew it (out < 0 otherwise).
+// Folding drops into the observed matrix keeps the drift signal on the
+// *offered* load: before this, drops were invisible to drift detection —
+// a flow that the plane started dropping (policy, dead outport, failure
+// injection) simply vanished from the matrix, as if its demand had gone.
+func (e *Engine) observeDrop(at topo.NodeID, in, out int) {
+	if out < 0 {
+		out = -1
+	}
+	s := e.obs[at]
+	s.mu.Lock()
+	s.drops[[2]int{in, out}]++
+	s.mu.Unlock()
+}
+
+// ObservedMatrix returns the engine's empirical traffic matrix per
+// (ingress, egress) OBS port pair since the last ResetObserved: delivered
+// packets plus dropped copies folded in at their ingress (keyed under the
+// intended egress when known, egress -1 otherwise), so drift detection
+// sees the offered load even for traffic the plane drops. It is safe to
+// call mid-stream (each per-switch shard is a live, internally consistent
+// snapshot) and is what ctrl.Monitor compares against the matrix the
+// running configuration was optimized for.
 func (e *Engine) ObservedMatrix() traffic.Matrix {
 	m := traffic.Matrix{}
 	for _, s := range e.obs {
@@ -776,17 +984,36 @@ func (e *Engine) ObservedMatrix() traffic.Matrix {
 		for k, c := range s.counts {
 			m[k] += float64(c)
 		}
+		for k, c := range s.drops {
+			m[k] += float64(c)
+		}
 		s.mu.Unlock()
 	}
 	return m
 }
 
-// ResetObserved clears the empirical traffic matrix, starting a fresh
-// observation window (the controller calls it after each reconfiguration).
+// DropsByIngress returns the per-ingress-port dropped-copy counters since
+// the last ResetObserved.
+func (e *Engine) DropsByIngress() map[int]int64 {
+	out := map[int]int64{}
+	for _, s := range e.obs {
+		s.mu.Lock()
+		for k, c := range s.drops {
+			out[k[0]] += c
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ResetObserved clears the empirical traffic matrix (deliveries and
+// drops), starting a fresh observation window (the controller calls it
+// after each reconfiguration).
 func (e *Engine) ResetObserved() {
 	for _, s := range e.obs {
 		s.mu.Lock()
 		s.counts = map[[2]int]int64{}
+		s.drops = map[[2]int]int64{}
 		s.mu.Unlock()
 	}
 }
@@ -812,11 +1039,13 @@ func (e *Engine) Load() map[topo.NodeID]SwitchLoad {
 // The union is built under the admission gate: new injections pause and
 // in-flight copies drain first, so the snapshot is a consistent quiescent
 // point even when taken mid-stream, and the returned store is a copy that
-// later traffic cannot mutate.
+// later traffic cannot mutate. Down switches are excluded — their memory
+// died with them — so after a failure this is the *surviving* global
+// state.
 func (e *Engine) GlobalState() *state.Store {
 	e.gate.pause()
 	defer e.gate.resume()
-	return unionState(e.plane.Load().switches)
+	return e.unionUpState(e.plane.Load().switches)
 }
 
 // SwitchTable snapshots one switch's tables (tests and diagnostics),

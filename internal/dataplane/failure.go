@@ -1,0 +1,129 @@
+// Failure injection and failover for the concurrent engine. FailSwitch
+// and FailLink model the failures real networks have constantly: a killed
+// switch takes its inbox, its in-flight work, its state tables and its
+// un-mirrored replication writes with it; a dead link silently eats every
+// copy sent across it. Both are injected *live* — traffic keeps flowing
+// and the victims' losses surface as observed drops — until the control
+// loop (ctrl.Controller.Failover) recompiles for the degraded topology and
+// installs the result with Engine.Failover, promoting replica state owners
+// so the surviving network picks up with its state intact.
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+
+	"snap/internal/rules"
+	"snap/internal/topo"
+)
+
+// FailSwitch marks a switch as failed, effective immediately: copies
+// queued at or in flight toward it drop (counted in Stats and the
+// observed matrix), its state tables become unreachable, and its pending
+// replication writes are discarded — they are the replica-lag loss a
+// later Failover reports. Failing an already-down switch is a no-op.
+// The engine stays healthy: injections continue, minus the victim.
+func (e *Engine) FailSwitch(s topo.NodeID) error {
+	if int(s) < 0 || int(s) >= len(e.down) {
+		return fmt.Errorf("dataplane: FailSwitch: unknown switch %d", s)
+	}
+	if e.down[s].Swap(true) {
+		return nil
+	}
+	// The pointer lock serializes the condemn against a concurrent
+	// replicator swap; the swap itself happens under the gate after a
+	// flush, so whichever pipeline the condemn hits has every at-risk
+	// write still queued (old epoch) or none yet (new epoch).
+	e.repMu.Lock()
+	lost := e.rep.condemn(s)
+	e.repMu.Unlock()
+	if lost > 0 {
+		e.repLost.Add(lost)
+	}
+	return nil
+}
+
+// FailLink kills the undirected link between a and b, effective
+// immediately: copies forwarded across either direction drop. Failing an
+// already-dead link is a no-op.
+func (e *Engine) FailLink(a, b topo.NodeID) error {
+	t := e.plane.Load().cfg.Topo
+	if t.LinkBetween(a, b) < 0 && t.LinkBetween(b, a) < 0 {
+		return fmt.Errorf("dataplane: FailLink: no link between switches %d and %d", a, b)
+	}
+	e.linkMu.Lock()
+	defer e.linkMu.Unlock()
+	next := map[[2]topo.NodeID]bool{}
+	if old := e.deadLinks.Load(); old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[[2]topo.NodeID{a, b}] = true
+	next[[2]topo.NodeID{b, a}] = true
+	e.deadLinks.Store(&next)
+	return nil
+}
+
+// linkDead reports whether a link has been failed.
+func (e *Engine) linkDead(l topo.Link) bool {
+	m := e.deadLinks.Load()
+	return m != nil && (*m)[[2]topo.NodeID{l.From, l.To}]
+}
+
+// SwitchDown reports whether a switch has been failed.
+func (e *Engine) SwitchDown(s topo.NodeID) bool {
+	return int(s) >= 0 && int(s) < len(e.down) && e.down[s].Load()
+}
+
+// FailoverStats accounts one Failover's state recovery.
+type FailoverStats struct {
+	// Promoted maps each orphaned variable recovered from a replica to
+	// its new primary owner.
+	Promoted map[string]topo.NodeID
+	// Recovered counts the state entries restored from replica stores.
+	Recovered int
+	// LostVars lists orphaned variables with entries but no surviving
+	// replica; LostEntries counts their entries — gone with the victim.
+	LostVars    []string
+	LostEntries int
+	// LostWrites is the engine-lifetime count of replication-lag writes
+	// discarded by switch failures: entries newer than the replica lag at
+	// failure time. Zero when every failure hit quiescent replicas.
+	LostWrites int64
+}
+
+// String renders the recovery accounting compactly for logs.
+func (fs *FailoverStats) String() string {
+	vars := make([]string, 0, len(fs.Promoted))
+	for v := range fs.Promoted {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return fmt.Sprintf("promoted %d var(s) %v, recovered %d entries, lost %d entries (%d vars) + %d lagged writes",
+		len(fs.Promoted), vars, fs.Recovered, fs.LostEntries, len(fs.LostVars), fs.LostWrites)
+}
+
+// Failover installs a configuration compiled for a degraded topology onto
+// the live engine: ApplyConfig's epoch swap with the same-topology
+// restriction lifted for failures. The new topology must keep the switch
+// count and every surviving port's attachment, but may have lost switches,
+// links and ports. State owned by down switches is recovered from the
+// first alive replica in promotion-preference order — the backups chosen
+// by the replication-aware placement — and re-seated on the new owners;
+// orphans without a surviving replica are reported lost, bounded by the
+// replica lag plus unreplicated variables. Traffic blocked on the gate
+// continues across the swap; injections for ports that died with their
+// switch are rejected afterwards as unknown ports, leaving the engine
+// healthy.
+func (e *Engine) Failover(cfg *rules.Config, rewrite StateRewrite) (*FailoverStats, error) {
+	if err := e.compatible(cfg, true); err != nil {
+		return nil, err
+	}
+	for n := 0; n < cfg.Topo.Switches; n++ {
+		if e.down[n].Load() && cfg.Topo.Up(topo.NodeID(n)) {
+			return nil, fmt.Errorf("dataplane: Failover configuration treats failed switch %d as up; recompile on the degraded topology", n)
+		}
+	}
+	return e.apply(cfg, rewrite, true)
+}

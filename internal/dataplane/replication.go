@@ -1,0 +1,322 @@
+// Asynchronous state replication: the runtime half of the compiler's
+// replication-aware placement (place.Options.Replicas). Every state write
+// a primary switch performs is observed through the netasm write hook —
+// under the same striped lock that serializes the write itself, so one
+// variable's observations arrive in table order — appended to a per-switch
+// mirror queue, and applied to the backup switches' replica stores by a
+// single background goroutine, in batches, off the packet hot path.
+//
+// Observations carry the *post-write* value (never the operation), so
+// applying them is idempotent and insensitive to batching boundaries. The
+// replica therefore trails the primary by a bounded, measurable lag
+// (ReplicaStats): exactly the writes still queued. A switch failure
+// discards the victim's queue — those writes are the bounded state loss a
+// failover reports — while everything already applied survives on the
+// backups and is promoted by Engine.Failover.
+package dataplane
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"snap/internal/rules"
+	"snap/internal/state"
+	"snap/internal/topo"
+	"snap/internal/values"
+)
+
+// repWrite is one observed state mutation: the post-write value of v[idx].
+type repWrite struct {
+	v   string
+	idx values.Tuple
+	val values.Value
+}
+
+// repBuffer is one primary switch's mirror queue. dead marks a failed
+// switch: its queued (and any still-arriving) writes are discarded and
+// counted as lost instead of reaching the replicas.
+type repBuffer struct {
+	mu   sync.Mutex
+	dead bool
+	ws   []repWrite
+}
+
+// replicator owns the mirror pipeline for one configuration epoch. The
+// engine swaps it wholesale on reconfiguration (under the gate, after a
+// flush), so vars/stores/pending are immutable maps after construction.
+// All methods are nil-receiver-safe: an unreplicated configuration has a
+// nil replicator.
+type replicator struct {
+	eng     *Engine
+	vars    map[string][]topo.NodeID     // replicated var → backups, preference order
+	stores  map[topo.NodeID]*state.Store // per-backup replica tables
+	pending map[topo.NodeID]*repBuffer   // per-primary mirror queues
+
+	// enq/app count writes enqueued and applied; their difference is the
+	// replica lag. They are atomics because enq sits on the packet hot
+	// path (one bump per replicated write). drainMu serializes the
+	// background drain with flush.
+	enq     atomic.Int64
+	app     atomic.Int64
+	drainMu sync.Mutex
+
+	// manual disables the drain goroutine (Options.ManualReplication):
+	// writes queue until an explicit flush.
+	manual bool
+
+	kick chan struct{}
+	quit chan struct{}
+	done chan struct{}
+}
+
+// newReplicator builds the pipeline for a configuration, or nil when it
+// carries no replicas.
+func newReplicator(e *Engine, cfg *rules.Config) *replicator {
+	if len(cfg.Replicas) == 0 {
+		return nil
+	}
+	r := &replicator{
+		eng:     e,
+		vars:    cfg.Replicas,
+		stores:  map[topo.NodeID]*state.Store{},
+		pending: map[topo.NodeID]*repBuffer{},
+		manual:  e.opts.ManualReplication,
+		kick:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for v, backups := range cfg.Replicas {
+		for _, b := range backups {
+			if r.stores[b] == nil {
+				r.stores[b] = state.NewStore()
+			}
+		}
+		if owner, ok := cfg.Placement[v]; ok && r.pending[owner] == nil {
+			r.pending[owner] = &repBuffer{}
+		}
+	}
+	return r
+}
+
+// hookFor returns the netasm write observer for a primary switch, or nil
+// when the switch owns no replicated variable.
+func (r *replicator) hookFor(node topo.NodeID, owns map[string]bool) func(string, values.Tuple, values.Value) {
+	if r == nil {
+		return nil
+	}
+	buf, ok := r.pending[node]
+	if !ok {
+		return nil
+	}
+	replicated := false
+	for v := range owns {
+		if _, ok := r.vars[v]; ok {
+			replicated = true
+			break
+		}
+	}
+	if !replicated {
+		return nil
+	}
+	return func(v string, idx values.Tuple, val values.Value) {
+		if _, ok := r.vars[v]; !ok {
+			return
+		}
+		buf.mu.Lock()
+		if buf.dead {
+			// The switch died under this write; it never reaches a replica.
+			buf.mu.Unlock()
+			r.eng.repLost.Add(1)
+			return
+		}
+		buf.ws = append(buf.ws, repWrite{v: v, idx: idx, val: val})
+		buf.mu.Unlock()
+		r.enq.Add(1)
+		select {
+		case r.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// start launches the background drain goroutine.
+func (r *replicator) start() {
+	if r == nil {
+		return
+	}
+	if r.manual {
+		close(r.done)
+		return
+	}
+	go func() {
+		defer close(r.done)
+		for {
+			select {
+			case <-r.quit:
+				return
+			case <-r.kick:
+				r.drain()
+			}
+		}
+	}()
+}
+
+// stop terminates the drain goroutine without flushing: the engine flushes
+// explicitly (under the gate) before swapping replicators.
+func (r *replicator) stop() {
+	if r == nil {
+		return
+	}
+	close(r.quit)
+	<-r.done
+}
+
+// drain applies every queued mirror write to the replica stores. Buffers
+// are swapped out under their own lock and applied outside it, so primary
+// writers are blocked only for the swap.
+func (r *replicator) drain() {
+	r.drainMu.Lock()
+	defer r.drainMu.Unlock()
+	applied := 0
+	for _, buf := range r.pending {
+		buf.mu.Lock()
+		ws := buf.ws
+		buf.ws = nil
+		buf.mu.Unlock()
+		for _, w := range ws {
+			for _, b := range r.vars[w.v] {
+				r.stores[b].Set(w.v, w.idx, w.val)
+			}
+		}
+		applied += len(ws)
+	}
+	if applied > 0 {
+		r.app.Add(int64(applied))
+	}
+}
+
+// flush synchronously drains all queues; after it returns (and absent new
+// traffic) the replicas are quiescent: lag zero.
+func (r *replicator) flush() {
+	if r == nil {
+		return
+	}
+	r.drain()
+}
+
+// seed warms the replica stores from a global state snapshot: every
+// replicated variable's current entries are copied to each of its backups.
+// Used when a new replicator is installed mid-life (reconfiguration,
+// failover), so backups do not start cold behind a populated primary.
+func (r *replicator) seed(global *state.Store) {
+	if r == nil {
+		return
+	}
+	for v, backups := range r.vars {
+		for _, b := range backups {
+			r.stores[b].CopyVar(global, v)
+		}
+	}
+}
+
+// condemn discards the mirror queue of a failed switch, returning the
+// number of writes lost (the replica-lag loss), and marks the buffer dead
+// so concurrent in-flight writes are discarded too.
+func (r *replicator) condemn(node topo.NodeID) int64 {
+	if r == nil {
+		return 0
+	}
+	buf, ok := r.pending[node]
+	if !ok {
+		return 0
+	}
+	buf.mu.Lock()
+	lost := int64(len(buf.ws))
+	buf.ws = nil
+	buf.dead = true
+	buf.mu.Unlock()
+	if lost > 0 {
+		// The discarded writes will never be applied; account them so
+		// lag (enqueued - applied) returns to zero.
+		r.app.Add(lost)
+	}
+	return lost
+}
+
+// aliveReplica returns the replica store of the first alive backup of v in
+// promotion-preference order, or nil. Caller holds the engine quiescent.
+func (r *replicator) aliveReplica(v string) *state.Store {
+	if r == nil {
+		return nil
+	}
+	for _, b := range r.vars[v] {
+		if !r.eng.down[b].Load() {
+			return r.stores[b]
+		}
+	}
+	return nil
+}
+
+// lag returns enqueued/applied counters.
+func (r *replicator) lag() (enq, app int64) {
+	if r == nil {
+		return 0, 0
+	}
+	return r.enq.Load(), r.app.Load()
+}
+
+// ReplicaStats reports the replication pipeline's progress for the current
+// configuration epoch.
+type ReplicaStats struct {
+	// Enqueued and Applied count mirror writes since the epoch started;
+	// Lag = Enqueued - Applied is how far the replicas trail the
+	// primaries (0 = quiescent).
+	Enqueued int64
+	Applied  int64
+	Lag      int64
+	// LostWrites counts mirror writes discarded by switch failures over
+	// the engine's whole life — the replica-lag state loss failover
+	// reports.
+	LostWrites int64
+}
+
+// ReplicaStats snapshots the replication pipeline. Zero-valued when the
+// running configuration has no replicas.
+func (e *Engine) ReplicaStats() ReplicaStats {
+	enq, app := e.replicator().lag()
+	return ReplicaStats{
+		Enqueued:   enq,
+		Applied:    app,
+		Lag:        enq - app,
+		LostWrites: e.repLost.Load(),
+	}
+}
+
+// FlushReplication drains the mirror queues to the replica stores under
+// the admission gate, returning with the replicas quiescent (lag zero).
+// The failover demo and tests use it to establish the "replicas are
+// quiescent" precondition for zero-loss recovery; production callers can
+// treat it as a barrier before planned maintenance.
+func (e *Engine) FlushReplication() {
+	e.gate.pause()
+	defer e.gate.resume()
+	e.replicator().flush()
+}
+
+// ReplicaTable snapshots the replica store a backup switch holds (tests
+// and diagnostics); nil when the switch backs up nothing. Taken under the
+// gate after a flush, so it reflects every write admitted so far.
+func (e *Engine) ReplicaTable(id topo.NodeID) *state.Store {
+	e.gate.pause()
+	defer e.gate.resume()
+	r := e.replicator()
+	r.flush()
+	if r == nil {
+		return nil
+	}
+	st, ok := r.stores[id]
+	if !ok {
+		return nil
+	}
+	return st.Clone()
+}

@@ -1,0 +1,267 @@
+// Package fault is SNAP's failure model: it enumerates the failure
+// scenarios a deployment should survive (single links, single switches,
+// correlated sets) and assesses what each one costs — which external ports
+// disappear, whether the survivors stay connected, and which state
+// variables are orphaned because their owner switch died.
+//
+// The paper compiles for a fixed, healthy topology; this package supplies
+// the other half of a production story. A Scenario feeds three consumers:
+// topo.Degrade derives the surviving graph for recompilation,
+// Engine.FailSwitch/FailLink inject the failure into the running data
+// plane, and ctrl.Controller.Failover drives the recovery — promoting
+// replica state owners chosen by the replication-aware placement
+// (place.Options.Replicas) so the network-wide state survives with its
+// tables, in the spirit of State-Compute Replication (Xu et al., 2023).
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"snap/internal/topo"
+)
+
+// Scenario is one failure event: a set of switches and/or undirected links
+// going down together. Single-element scenarios model independent faults;
+// multi-element ones model correlated failures (shared risk groups, power
+// domains).
+type Scenario struct {
+	Name     string
+	Switches []topo.NodeID
+	Links    [][2]topo.NodeID
+}
+
+// Key is a canonical identity for deduplication: two scenarios failing the
+// same element sets have equal keys regardless of ordering.
+func (s Scenario) Key() string {
+	sw := append([]topo.NodeID(nil), s.Switches...)
+	sort.Slice(sw, func(i, j int) bool { return sw[i] < sw[j] })
+	ln := make([][2]topo.NodeID, 0, len(s.Links))
+	for _, l := range s.Links {
+		if l[0] > l[1] {
+			l[0], l[1] = l[1], l[0]
+		}
+		ln = append(ln, l)
+	}
+	sort.Slice(ln, func(i, j int) bool {
+		if ln[i][0] != ln[j][0] {
+			return ln[i][0] < ln[j][0]
+		}
+		return ln[i][1] < ln[j][1]
+	})
+	var b strings.Builder
+	for _, n := range sw {
+		fmt.Fprintf(&b, "s%d;", n)
+	}
+	for _, l := range ln {
+		fmt.Fprintf(&b, "l%d-%d;", l[0], l[1])
+	}
+	return b.String()
+}
+
+// Empty reports whether the scenario fails nothing.
+func (s Scenario) Empty() bool { return len(s.Switches) == 0 && len(s.Links) == 0 }
+
+// String renders the scenario compactly.
+func (s Scenario) String() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	var parts []string
+	for _, n := range s.Switches {
+		parts = append(parts, fmt.Sprintf("S%d", n))
+	}
+	for _, l := range s.Links {
+		parts = append(parts, fmt.Sprintf("%d-%d", l[0], l[1]))
+	}
+	return "fail " + strings.Join(parts, ",")
+}
+
+// SwitchDown builds the single-switch scenario.
+func SwitchDown(n topo.NodeID) Scenario {
+	return Scenario{Name: fmt.Sprintf("switch-S%d", n), Switches: []topo.NodeID{n}}
+}
+
+// LinkDown builds the single-link scenario (both directions fail).
+func LinkDown(a, b topo.NodeID) Scenario {
+	return Scenario{Name: fmt.Sprintf("link-%d-%d", a, b), Links: [][2]topo.NodeID{{a, b}}}
+}
+
+// SingleSwitches enumerates every single-switch failure of the topology's
+// alive switches, in NodeID order.
+func SingleSwitches(t *topo.Topology) []Scenario {
+	out := make([]Scenario, 0, t.Switches)
+	for n := 0; n < t.Switches; n++ {
+		if t.Up(topo.NodeID(n)) {
+			out = append(out, SwitchDown(topo.NodeID(n)))
+		}
+	}
+	return out
+}
+
+// SingleLinks enumerates every single-link failure, one scenario per
+// undirected link (the directed pair fails together), in canonical order.
+func SingleLinks(t *topo.Topology) []Scenario {
+	seen := map[[2]topo.NodeID]bool{}
+	var out []Scenario
+	for _, l := range t.Links {
+		a, b := l.From, l.To
+		if a > b {
+			a, b = b, a
+		}
+		k := [2]topo.NodeID{a, b}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, LinkDown(a, b))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Correlated enumerates n deterministic correlated switch-set scenarios of
+// size k, modeling shared-risk groups: consecutive windows over a seeded
+// permutation of the alive switches, so sets are disjoint until the
+// permutation wraps. Scenarios are deduplicated; fewer than n may return on
+// small topologies.
+func Correlated(t *topo.Topology, k, n int, seed int64) []Scenario {
+	var alive []topo.NodeID
+	for i := 0; i < t.Switches; i++ {
+		if t.Up(topo.NodeID(i)) {
+			alive = append(alive, topo.NodeID(i))
+		}
+	}
+	if k <= 0 || k > len(alive) || n <= 0 {
+		return nil
+	}
+	perm := permute(alive, seed)
+	seen := map[string]bool{}
+	var out []Scenario
+	for i := 0; len(out) < n && i < n*k; i += k {
+		set := make([]topo.NodeID, k)
+		for j := 0; j < k; j++ {
+			set[j] = perm[(i+j)%len(perm)]
+		}
+		s := Scenario{Name: fmt.Sprintf("correlated-%d", len(out)), Switches: set}
+		if key := s.Key(); !seen[key] {
+			seen[key] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// permute is a deterministic Fisher–Yates over a copy of nodes.
+func permute(nodes []topo.NodeID, seed int64) []topo.NodeID {
+	out := append([]topo.NodeID(nil), nodes...)
+	s := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	next := func(n int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(n))
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := next(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Options tunes Enumerate.
+type Options struct {
+	// Correlated adds this many correlated switch-set scenarios (0 = none).
+	Correlated int
+	// CorrelatedSize is the set size (default 2).
+	CorrelatedSize int
+	// Seed drives the correlated-set permutation.
+	Seed int64
+}
+
+// Enumerate lists the failure scenarios for a topology: every single
+// switch, every single undirected link, and optionally correlated sets.
+// The result contains no duplicate scenarios (by Key) and no empty ones.
+func Enumerate(t *topo.Topology, opts Options) []Scenario {
+	if opts.CorrelatedSize <= 0 {
+		opts.CorrelatedSize = 2
+	}
+	var out []Scenario
+	seen := map[string]bool{}
+	add := func(ss []Scenario) {
+		for _, s := range ss {
+			if s.Empty() {
+				continue
+			}
+			if k := s.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, s)
+			}
+		}
+	}
+	add(SingleSwitches(t))
+	add(SingleLinks(t))
+	if opts.Correlated > 0 {
+		add(Correlated(t, opts.CorrelatedSize, opts.Correlated, opts.Seed))
+	}
+	return out
+}
+
+// Impact is the assessed cost of one scenario on a deployment.
+type Impact struct {
+	Scenario Scenario
+	// Degraded is the surviving topology.
+	Degraded *topo.Topology
+	// Partitioned reports whether the surviving switches no longer form
+	// one connected component — recompilation cannot route all pairs.
+	Partitioned bool
+	// LostPorts are the external ports that disappeared with their switch.
+	LostPorts []int
+	// Orphans are the state variables whose primary owner went down,
+	// sorted. Without replicas their entries are unrecoverable; with
+	// replicas the failover promotes a backup owner.
+	Orphans []string
+	// Uncovered are the orphans with no surviving replica — their entries
+	// are lost even under failover.
+	Uncovered []string
+}
+
+// Assess derives a scenario's impact against a placement and its replica
+// assignment (replicas may be nil for an unreplicated deployment).
+func Assess(t *topo.Topology, placement map[string]topo.NodeID, replicas map[string][]topo.NodeID, s Scenario) (Impact, error) {
+	d, err := t.Degrade(s.Switches, s.Links)
+	if err != nil {
+		return Impact{}, err
+	}
+	im := Impact{Scenario: s, Degraded: d, Partitioned: !d.UpConnected()}
+	lost := map[int]bool{}
+	for _, p := range t.Ports {
+		if _, ok := d.PortByID(p.ID); !ok {
+			lost[p.ID] = true
+		}
+	}
+	for id := range lost {
+		im.LostPorts = append(im.LostPorts, id)
+	}
+	sort.Ints(im.LostPorts)
+	for v, owner := range placement {
+		if d.Up(owner) {
+			continue
+		}
+		im.Orphans = append(im.Orphans, v)
+		covered := false
+		for _, r := range replicas[v] {
+			if d.Up(r) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			im.Uncovered = append(im.Uncovered, v)
+		}
+	}
+	sort.Strings(im.Orphans)
+	sort.Strings(im.Uncovered)
+	return im, nil
+}

@@ -1,0 +1,129 @@
+package fault_test
+
+import (
+	"testing"
+
+	"snap/internal/fault"
+	"snap/internal/topo"
+)
+
+// TestEnumerateInvariants: on every evaluation-style topology, the scenario
+// set has no duplicates (by canonical key), no empty scenarios, covers
+// every switch and every undirected link exactly once, and each scenario's
+// degraded topology either stays connected or is reported partitioned by
+// Assess — never silently broken.
+func TestEnumerateInvariants(t *testing.T) {
+	tops := []*topo.Topology{topo.Campus(100), topo.IGen(20, 100)}
+	for _, tp := range tops {
+		ss := fault.Enumerate(tp, fault.Options{Correlated: 5, Seed: 3})
+		undirected := map[[2]topo.NodeID]bool{}
+		for _, l := range tp.Links {
+			a, b := l.From, l.To
+			if a > b {
+				a, b = b, a
+			}
+			undirected[[2]topo.NodeID{a, b}] = true
+		}
+		wantMin := tp.Switches + len(undirected)
+		if len(ss) < wantMin {
+			t.Fatalf("%s: %d scenarios, want at least %d (switches + links)", tp.Name, len(ss), wantMin)
+		}
+		seen := map[string]bool{}
+		switches, links := 0, 0
+		for _, s := range ss {
+			if s.Empty() {
+				t.Fatalf("%s: empty scenario %q", tp.Name, s.Name)
+			}
+			k := s.Key()
+			if seen[k] {
+				t.Fatalf("%s: duplicate scenario %q (key %s)", tp.Name, s.Name, k)
+			}
+			seen[k] = true
+			if len(s.Links) == 0 && len(s.Switches) == 1 {
+				switches++
+			}
+			if len(s.Switches) == 0 && len(s.Links) == 1 {
+				links++
+			}
+			im, err := fault.Assess(tp, nil, nil, s)
+			if err != nil {
+				t.Fatalf("%s: assess %q: %v", tp.Name, s.Name, err)
+			}
+			if im.Degraded.UpConnected() == im.Partitioned {
+				t.Fatalf("%s: scenario %q: partition flag disagrees with connectivity", tp.Name, s.Name)
+			}
+		}
+		if switches != tp.Switches {
+			t.Fatalf("%s: %d single-switch scenarios, want %d", tp.Name, switches, tp.Switches)
+		}
+		if links != len(undirected) {
+			t.Fatalf("%s: %d single-link scenarios, want %d", tp.Name, links, len(undirected))
+		}
+	}
+}
+
+// TestScenarioKeyCanonical: element order does not affect identity.
+func TestScenarioKeyCanonical(t *testing.T) {
+	a := fault.Scenario{Switches: []topo.NodeID{3, 1}, Links: [][2]topo.NodeID{{5, 2}}}
+	b := fault.Scenario{Switches: []topo.NodeID{1, 3}, Links: [][2]topo.NodeID{{2, 5}}}
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+// TestAssessOrphans: a switch failure orphans exactly the variables placed
+// on it; replicas on surviving switches cover them, replicas that died
+// with the scenario do not.
+func TestAssessOrphans(t *testing.T) {
+	c := campus()
+	placement := map[string]topo.NodeID{"flows": 10, "count": 7}
+	replicas := map[string][]topo.NodeID{
+		"flows": {11},
+		"count": {10}, // backup dies with the correlated scenario below
+	}
+
+	im, err := fault.Assess(c, placement, replicas, fault.SwitchDown(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.Orphans) != 1 || im.Orphans[0] != "flows" {
+		t.Fatalf("orphans = %v, want [flows]", im.Orphans)
+	}
+	if len(im.Uncovered) != 0 {
+		t.Fatalf("uncovered = %v, want none (replica on 11 survives)", im.Uncovered)
+	}
+
+	im, err = fault.Assess(c, placement, replicas, fault.Scenario{
+		Name: "corr", Switches: []topo.NodeID{7, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.Orphans) != 2 {
+		t.Fatalf("orphans = %v, want both", im.Orphans)
+	}
+	if len(im.Uncovered) != 1 || im.Uncovered[0] != "count" {
+		t.Fatalf("uncovered = %v, want [count] (its only backup died too)", im.Uncovered)
+	}
+}
+
+// TestCorrelatedDeterministic: same seed, same scenarios; sets respect the
+// requested size and stay within alive switches.
+func TestCorrelatedDeterministic(t *testing.T) {
+	c := campus()
+	a := fault.Correlated(c, 2, 4, 9)
+	b := fault.Correlated(c, 2, 4, 9)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Fatalf("scenario %d differs across identical seeds", i)
+		}
+		if len(a[i].Switches) != 2 {
+			t.Fatalf("scenario %d has %d switches, want 2", i, len(a[i].Switches))
+		}
+	}
+}
+
+func campus() *topo.Topology { return topo.Campus(100) }

@@ -210,6 +210,30 @@ type Switch struct {
 	Owns map[string]bool
 	// Guard against runaway programs.
 	MaxSteps int
+	// OnStateWrite, when set, observes every mutation of Tables with the
+	// variable, index and post-write value. The data-plane engine installs
+	// it to mirror writes to replica switches asynchronously. It runs
+	// under the same external serialization as Run itself (the caller's
+	// lock set covers the written variable), so implementations see writes
+	// to one variable in table order; they must not block.
+	OnStateWrite func(v string, idx values.Tuple, val values.Value)
+}
+
+// setState writes v[idx] ← val and notifies the write observer.
+func (sw *Switch) setState(v string, idx values.Tuple, val values.Value) {
+	sw.Tables.Set(v, idx, val)
+	if sw.OnStateWrite != nil {
+		sw.OnStateWrite(v, idx, val)
+	}
+}
+
+// addState applies v[idx] += delta and notifies the write observer with
+// the resulting value, so replaying observations is idempotent.
+func (sw *Switch) addState(v string, idx values.Tuple, delta int64) {
+	sw.Tables.Add(v, idx, delta)
+	if sw.OnStateWrite != nil {
+		sw.OnStateWrite(v, idx, sw.Tables.Get(v, idx))
+	}
 }
 
 // NewSwitch builds a VM with empty tables.
@@ -267,11 +291,11 @@ func (sw *Switch) commitLocal(sp *SimPacket) {
 		}
 		switch w.Act {
 		case xfdd.ActSet:
-			sw.Tables.Set(w.Var, w.Idx, w.Val)
+			sw.setState(w.Var, w.Idx, w.Val)
 		case xfdd.ActIncr:
-			sw.Tables.Add(w.Var, w.Idx, 1)
+			sw.addState(w.Var, w.Idx, 1)
 		case xfdd.ActDecr:
-			sw.Tables.Add(w.Var, w.Idx, -1)
+			sw.addState(w.Var, w.Idx, -1)
 		}
 	}
 	sp.Hdr.Pending = append([]PendingWrite(nil), rest...)
@@ -342,11 +366,11 @@ func (sw *Switch) exec(sp SimPacket, pc int) ([]Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				sw.Tables.Set(ins.Var, idx, v)
+				sw.setState(ins.Var, idx, v)
 			case xfdd.ActIncr:
-				sw.Tables.Add(ins.Var, idx, 1)
+				sw.addState(ins.Var, idx, 1)
 			case xfdd.ActDecr:
-				sw.Tables.Add(ins.Var, idx, -1)
+				sw.addState(ins.Var, idx, -1)
 			}
 			pc = ins.Next
 

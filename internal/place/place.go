@@ -51,7 +51,14 @@ type Route struct {
 
 // Result is a placement-and-routing outcome.
 type Result struct {
-	Placement  map[string]topo.NodeID
+	Placement map[string]topo.NodeID
+	// Replicas lists the backup owner switches of each state variable
+	// (K-1 per variable under Options.Replicas=K; nil when replication is
+	// off). Backups are the next-best owner candidates under the same
+	// waypoint-ordered routing cost that placed the primary, so promoting
+	// one after a failure keeps routes short; tied variables share their
+	// group's backups like they share its primary.
+	Replicas   map[string][]topo.NodeID
 	Routes     map[[2]int]Route
 	Congestion float64 // Σ_links load/capacity (the paper's objective)
 	MaxUtil    float64
@@ -80,6 +87,12 @@ type Options struct {
 	// ExactLimit is the largest estimated column count Auto will hand to
 	// the exact engine.
 	ExactLimit int
+	// Replicas is the state replication factor K: each state variable gets
+	// one primary owner plus K-1 backup owners on distinct alive switches
+	// (0 and 1 both mean no replication). Backups receive asynchronous
+	// copies of the primary's writes at runtime and are the promotion
+	// candidates on owner failure.
+	Replicas int
 }
 
 func (o Options) withDefaults() Options {
@@ -161,19 +174,40 @@ func (m *Model) newSolver() *solver {
 // dependency order (the paper's "ST" solve, P5).
 func (m *Model) SolveST(mapping *psmap.Mapping, order *deps.Order) (*Result, error) {
 	in := m.inputs(mapping, order)
-	switch m.opts.Method {
-	case Exact:
-		return solveExact(in, nil, m.opts)
-	case Heuristic:
-		return solveHeuristicModel(m, in, nil)
+	var res *Result
+	var err error
+	switch {
+	case m.opts.Method == Exact && !degraded(in.Topo):
+		res, err = solveExact(in, nil, m.opts)
+	case m.opts.Method == Heuristic || degraded(in.Topo):
+		// The MILP encodes the healthy-network constraints; degraded
+		// topologies always take the heuristic engine, which skips down
+		// switches explicitly.
+		res, err = solveHeuristicModel(m, in, nil)
 	default:
 		if exactColumns(in) <= m.opts.ExactLimit {
-			if r, err := solveExact(in, nil, m.opts); err == nil {
-				return r, nil
+			if r, exErr := solveExact(in, nil, m.opts); exErr == nil {
+				res = r
+				break
 			}
 		}
-		return solveHeuristicModel(m, in, nil)
+		res, err = solveHeuristicModel(m, in, nil)
 	}
+	if err != nil {
+		return nil, err
+	}
+	m.replicate(in, res)
+	return res, nil
+}
+
+// degraded reports whether a topology carries any down switch.
+func degraded(t *topo.Topology) bool {
+	for _, d := range t.Down {
+		if d {
+			return true
+		}
+	}
+	return false
 }
 
 // exactColumns estimates the exact engine's column count: routing variables
@@ -194,10 +228,18 @@ func exactColumns(in Inputs) int {
 // "TE" solve).
 func (m *Model) SolveTE(mapping *psmap.Mapping, order *deps.Order, fixed map[string]topo.NodeID) (*Result, error) {
 	in := m.inputs(mapping, order)
-	if m.opts.Method == Exact {
-		return solveExact(in, fixed, m.opts)
+	var res *Result
+	var err error
+	if m.opts.Method == Exact && !degraded(in.Topo) {
+		res, err = solveExact(in, fixed, m.opts)
+	} else {
+		res, err = solveHeuristicModel(m, in, fixed)
 	}
-	return solveHeuristicModel(m, in, fixed)
+	if err != nil {
+		return nil, err
+	}
+	m.replicate(in, res)
+	return res, nil
 }
 
 // Solve is the one-shot convenience wrapper: NewModel + SolveST.
@@ -438,6 +480,16 @@ func solveHeuristicModel(m *Model, in Inputs, fixed map[string]topo.NodeID) (*Re
 		s.improvePlacement(groups, loc)
 	}
 
+	// Replica selection reuses this solve's pair index and distances; on
+	// fixed (TE) runs the index was never built, so build it now.
+	var replicas map[string][]topo.NodeID
+	if m.opts.Replicas > 1 && len(loc) > 0 {
+		if s.pinfos == nil {
+			s.indexPairs(groups)
+		}
+		replicas = s.chooseReplicas(groups, m.opts.Replicas)
+	}
+
 	routes, congestion, maxUtil := s.route(loc)
 	method := "heuristic-st"
 	if fixed != nil {
@@ -445,6 +497,7 @@ func solveHeuristicModel(m *Model, in Inputs, fixed map[string]topo.NodeID) (*Re
 	}
 	return &Result{
 		Placement:  loc,
+		Replicas:   replicas,
 		Routes:     routes,
 		Congestion: congestion,
 		MaxUtil:    maxUtil,
@@ -459,8 +512,11 @@ func (s *solver) seedPlacement(groups []*group, loc map[string]topo.NodeID) {
 		s.indexPairs(groups)
 	}
 	for gi, g := range groups {
-		bestN, bestC := topo.NodeID(0), math.Inf(1)
+		bestN, bestC := topo.NodeID(-1), math.Inf(1)
 		for n := 0; n < s.in.Topo.Switches; n++ {
+			if !s.in.Topo.Up(topo.NodeID(n)) {
+				continue
+			}
 			c := 0.0
 			for _, pi := range s.gpairs[gi] {
 				p := &s.pinfos[pi]
@@ -468,7 +524,7 @@ func (s *solver) seedPlacement(groups []*group, loc map[string]topo.NodeID) {
 					c += p.demand * (s.dist[p.su][n] + s.dist[n][p.sv])
 				}
 			}
-			if c < bestC {
+			if bestN < 0 || c < bestC {
 				bestC, bestN = c, topo.NodeID(n)
 			}
 		}
@@ -491,7 +547,7 @@ func (s *solver) improvePlacement(groups []*group, loc map[string]topo.NodeID) {
 		for gi, g := range groups {
 			bestN, bestC := g.node, s.groupCost(gi)
 			for n := 0; n < s.in.Topo.Switches; n++ {
-				if topo.NodeID(n) == g.node {
+				if topo.NodeID(n) == g.node || !s.in.Topo.Up(topo.NodeID(n)) {
 					continue
 				}
 				s.glocs[gi] = topo.NodeID(n)
@@ -512,6 +568,70 @@ func (s *solver) improvePlacement(groups []*group, loc map[string]topo.NodeID) {
 			return
 		}
 	}
+}
+
+// replicate fills res.Replicas for Options.Replicas=K on results produced
+// by the exact engine, which has no solver to reuse; the heuristic path
+// picks replicas inside solveHeuristicModel on its existing solver. No-op
+// when replicas were already chosen, for K<2, or a stateless policy.
+func (m *Model) replicate(in Inputs, res *Result) {
+	if m.opts.Replicas < 2 || len(res.Placement) == 0 || res.Replicas != nil {
+		return
+	}
+	s := m.newSolver()
+	s.in = in
+	s.prepare()
+	groups := buildGroups(in)
+	for _, g := range groups {
+		g.node = res.Placement[g.vars[0]]
+	}
+	s.indexPairs(groups)
+	res.Replicas = s.chooseReplicas(groups, m.opts.Replicas)
+}
+
+// chooseReplicas picks, per tied-variable group, the K-1 alive switches
+// (excluding the primary) with the lowest demand-weighted waypoint-ordered
+// path cost if the group moved there — i.e. the best owners the solver did
+// not pick. Promotion after a primary failure therefore degrades routing
+// cost as little as any single-owner choice can. Requires indexPairs to
+// have run with the final group locations.
+func (s *solver) chooseReplicas(groups []*group, k int) map[string][]topo.NodeID {
+	out := make(map[string][]topo.NodeID)
+	type cand struct {
+		n topo.NodeID
+		c float64
+	}
+	for gi, g := range groups {
+		orig := s.glocs[gi]
+		var cs []cand
+		for n := 0; n < s.in.Topo.Switches; n++ {
+			node := topo.NodeID(n)
+			if node == orig || !s.in.Topo.Up(node) {
+				continue
+			}
+			s.glocs[gi] = node
+			cs = append(cs, cand{n: node, c: s.groupCost(gi)})
+		}
+		s.glocs[gi] = orig
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].c != cs[j].c {
+				return cs[i].c < cs[j].c
+			}
+			return cs[i].n < cs[j].n
+		})
+		want := k - 1
+		if want > len(cs) {
+			want = len(cs)
+		}
+		backups := make([]topo.NodeID, 0, want)
+		for _, c := range cs[:want] {
+			backups = append(backups, c.n)
+		}
+		for _, v := range g.vars {
+			out[v] = backups
+		}
+	}
+	return out
 }
 
 // route computes final paths for every demand pair under the current

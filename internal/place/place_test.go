@@ -241,3 +241,92 @@ func TestDependencyOrderOnPath(t *testing.T) {
 func srcPortField() pkt.Field     { return pkt.SrcPort }
 func intVal(n int64) values.Value { return values.Int(n) }
 func boolVal(b bool) values.Value { return values.Bool(b) }
+
+// TestReplicaPlacement: with Replicas=K every placed variable gets K-1
+// backups, distinct from the primary and from each other, on alive
+// switches; tied variables share their group's backups. K<2 yields none.
+func TestReplicaPlacement(t *testing.T) {
+	tp := topo.Campus(100)
+	tm := traffic.Gravity(tp, 100, 1)
+	in := inputsFor(t, tp, tm)
+
+	res, err := place.Solve(in, place.Options{Method: place.Heuristic, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Placement) == 0 {
+		t.Fatal("policy placed no state")
+	}
+	for v, primary := range res.Placement {
+		backups := res.Replicas[v]
+		if len(backups) != 2 {
+			t.Fatalf("%s: %d backups, want 2", v, len(backups))
+		}
+		seen := map[topo.NodeID]bool{primary: true}
+		for _, b := range backups {
+			if seen[b] {
+				t.Fatalf("%s: backup %d duplicates primary or another backup", v, b)
+			}
+			seen[b] = true
+			if int(b) < 0 || int(b) >= tp.Switches {
+				t.Fatalf("%s: backup %d out of range", v, b)
+			}
+		}
+	}
+
+	plain, err := place.Solve(in, place.Options{Method: place.Heuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Replicas != nil {
+		t.Fatalf("Replicas without replication: %v", plain.Replicas)
+	}
+}
+
+// TestPlacementAvoidsDownSwitches: on a degraded topology neither primaries
+// nor backups land on a failed switch.
+func TestPlacementAvoidsDownSwitches(t *testing.T) {
+	tp := topo.Campus(100)
+	tm := traffic.Gravity(tp, 100, 1)
+	healthy, err := place.Solve(inputsFor(t, tp, tm), place.Options{Method: place.Heuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail a switch that actually owns state so avoidance is observable.
+	var victim topo.NodeID = -1
+	for _, n := range healthy.Placement {
+		victim = n
+		break
+	}
+	if victim < 0 {
+		t.Fatal("no state placed")
+	}
+	d, err := tp.Degrade([]topo.NodeID{victim}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := place.Solve(inputsFor(t, d, tm.Restrict(d)), place.Options{Method: place.Heuristic, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, n := range res.Placement {
+		if n == victim {
+			t.Fatalf("%s placed on down switch %d", v, victim)
+		}
+		for _, b := range res.Replicas[v] {
+			if b == victim {
+				t.Fatalf("%s replicated on down switch %d", v, victim)
+			}
+		}
+	}
+}
+
+// inputsFor compiles the DNS-tunnel workload for a (possibly degraded)
+// campus topology and attaches a demand matrix.
+func inputsFor(t *testing.T, tp *topo.Topology, tm traffic.Matrix) place.Inputs {
+	t.Helper()
+	policy := syntax.Then(apps.Assumption(6), syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(6)))
+	in := compile(t, policy, tp)
+	in.Demands = tm
+	return in
+}

@@ -56,13 +56,59 @@ type Config struct {
 	RootID    int
 	NodeCount int
 	Placement map[string]topo.NodeID
-	Switches  map[topo.NodeID]*SwitchConfig
+	// Replicas lists each state variable's backup owner switches, in
+	// promotion-preference order (place.Result.Replicas; nil without
+	// replication). Backups hold asynchronously mirrored copies of the
+	// primary's table at runtime — they never execute the variable's state
+	// instructions, so the per-switch programs are unaffected.
+	Replicas map[string][]topo.NodeID
+	Switches map[topo.NodeID]*SwitchConfig
+}
+
+// ReplicaOf reports the variables switch n backs up, sorted. Used for
+// diagnostics and by the engine to pre-create replica tables.
+func (c *Config) ReplicaOf(n topo.NodeID) []string {
+	var out []string
+	for v, rs := range c.Replicas {
+		for _, r := range rs {
+			if r == n {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Generate compiles per-switch configurations from the xFDD and the
 // optimizer's placement and routes.
 func Generate(d *xfdd.Diagram, t *topo.Topology, placement map[string]topo.NodeID, routes map[[2]int]place.Route) (*Config, error) {
+	return GenerateReplicated(d, t, placement, nil, routes)
+}
+
+// GenerateReplicated is Generate with a replica assignment: the produced
+// configuration additionally records each state variable's backup owners,
+// which the data-plane engine mirrors writes to and the failover path
+// promotes. A replica entry for an unplaced variable is an error, as is a
+// backup equal to the primary.
+func GenerateReplicated(d *xfdd.Diagram, t *topo.Topology, placement map[string]topo.NodeID, replicas map[string][]topo.NodeID, routes map[[2]int]place.Route) (*Config, error) {
 	ids, count := numberNodes(d)
+
+	for v, rs := range replicas {
+		owner, ok := placement[v]
+		if !ok {
+			return nil, fmt.Errorf("rules: replica assignment for unplaced state variable %s", v)
+		}
+		for _, r := range rs {
+			if r == owner {
+				return nil, fmt.Errorf("rules: state variable %s replicated onto its own primary switch %d", v, owner)
+			}
+			if int(r) < 0 || int(r) >= t.Switches {
+				return nil, fmt.Errorf("rules: state variable %s replicated onto unknown switch %d", v, r)
+			}
+		}
+	}
 
 	cfg := &Config{
 		Topo:      t,
@@ -70,6 +116,7 @@ func Generate(d *xfdd.Diagram, t *topo.Topology, placement map[string]topo.NodeI
 		RootID:    ids[d],
 		NodeCount: count,
 		Placement: placement,
+		Replicas:  replicas,
 		Switches:  map[topo.NodeID]*SwitchConfig{},
 	}
 

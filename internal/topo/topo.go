@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 )
 
 // NodeID identifies a switch.
@@ -33,11 +34,20 @@ type Link struct {
 }
 
 // Topology is a switch graph with external ports.
+//
+// A topology may be *degraded*: switches can be marked down (Down), in
+// which case they keep their NodeID — so identifiers stay stable across a
+// failure — but carry no links and no ports. Degrade derives the surviving
+// topology after a failure; the compiler pipeline and the data-plane
+// runtimes treat down switches as unreachable islands.
 type Topology struct {
 	Name     string
 	Switches int
 	Links    []Link
 	Ports    []Port
+	// Down marks failed switches (nil = all up). Down switches retain
+	// their NodeID but have no links and no ports.
+	Down []bool
 
 	out       [][]int // adjacency: out[n] lists indices into Links
 	linkIndex map[[2]NodeID]int
@@ -184,6 +194,94 @@ func (t *Topology) Connected() bool {
 	dist, _ := t.ShortestDists(0, nil)
 	for _, d := range dist {
 		if d >= 1e30 {
+			return false
+		}
+	}
+	return true
+}
+
+// Up reports whether switch n is alive.
+func (t *Topology) Up(n NodeID) bool {
+	return t.Down == nil || int(n) >= len(t.Down) || !t.Down[n]
+}
+
+// UpSwitches counts the alive switches.
+func (t *Topology) UpSwitches() int {
+	n := t.Switches
+	for _, d := range t.Down {
+		if d {
+			n--
+		}
+	}
+	return n
+}
+
+// Degrade derives the surviving topology after a failure: the listed
+// switches go down (keeping their NodeID but losing every incident link
+// and attached port) and the listed undirected link pairs vanish in both
+// directions. Down-states compose: degrading an already-degraded topology
+// accumulates failures. The receiver is not modified.
+func (t *Topology) Degrade(switches []NodeID, links [][2]NodeID) (*Topology, error) {
+	down := make([]bool, t.Switches)
+	copy(down, t.Down)
+	for _, s := range switches {
+		if s < 0 || int(s) >= t.Switches {
+			return nil, fmt.Errorf("topology %s: cannot fail unknown switch %d", t.Name, s)
+		}
+		down[s] = true
+	}
+	cutLink := make(map[[2]NodeID]bool, 2*len(links))
+	for _, l := range links {
+		if t.LinkBetween(l[0], l[1]) < 0 && t.LinkBetween(l[1], l[0]) < 0 {
+			return nil, fmt.Errorf("topology %s: cannot fail unknown link %d-%d", t.Name, l[0], l[1])
+		}
+		cutLink[[2]NodeID{l[0], l[1]}] = true
+		cutLink[[2]NodeID{l[1], l[0]}] = true
+	}
+	var surviving []Link
+	for _, l := range t.Links {
+		if down[l.From] || down[l.To] || cutLink[[2]NodeID{l.From, l.To}] {
+			continue
+		}
+		surviving = append(surviving, l)
+	}
+	var ports []Port
+	for _, p := range t.Ports {
+		if !down[p.Switch] {
+			ports = append(ports, p)
+		}
+	}
+	name := t.Name
+	if !strings.HasSuffix(name, "-degraded") {
+		name += "-degraded"
+	}
+	d, err := New(name, t.Switches, surviving, ports)
+	if err != nil {
+		return nil, err
+	}
+	d.Down = down
+	return d, nil
+}
+
+// UpConnected reports whether the alive switches form one connected
+// component (every up switch reachable from the lowest-numbered up
+// switch). A degraded topology that fails this check is partitioned: some
+// surviving traffic pairs cannot communicate and recompilation on it will
+// be unable to route them.
+func (t *Topology) UpConnected() bool {
+	src := NodeID(-1)
+	for n := 0; n < t.Switches; n++ {
+		if t.Up(NodeID(n)) {
+			src = NodeID(n)
+			break
+		}
+	}
+	if src < 0 {
+		return true // no survivors: vacuously connected
+	}
+	dist, _ := t.ShortestDists(src, nil)
+	for n := 0; n < t.Switches; n++ {
+		if t.Up(NodeID(n)) && dist[n] >= 1e30 {
 			return false
 		}
 	}

@@ -187,3 +187,93 @@ func TestPortIDsSorted(t *testing.T) {
 		}
 	}
 }
+
+// TestDegradeSwitch: failing a switch keeps the NodeID space intact but
+// removes every incident link and attached port; failures compose.
+func TestDegradeSwitch(t *testing.T) {
+	c := Campus(100)
+	// Node 4 is D3 (port 5), linked to C5 and C3.
+	d, err := c.Degrade([]NodeID{4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Switches != c.Switches {
+		t.Fatalf("degraded switch count %d, want %d (IDs must stay stable)", d.Switches, c.Switches)
+	}
+	if d.Up(4) {
+		t.Fatal("failed switch still up")
+	}
+	if d.UpSwitches() != c.Switches-1 {
+		t.Fatalf("UpSwitches = %d", d.UpSwitches())
+	}
+	if _, ok := d.PortByID(5); ok {
+		t.Fatal("port 5 survived its switch")
+	}
+	if len(d.Ports) != len(c.Ports)-1 {
+		t.Fatalf("ports = %d", len(d.Ports))
+	}
+	if len(d.OutLinks(4)) != 0 {
+		t.Fatal("failed switch kept outgoing links")
+	}
+	for _, l := range d.Links {
+		if l.From == 4 || l.To == 4 {
+			t.Fatalf("link %d->%d touches the failed switch", l.From, l.To)
+		}
+	}
+	if !d.UpConnected() {
+		t.Fatal("campus minus one edge switch must stay connected")
+	}
+	// The original is untouched.
+	if !c.Up(4) || len(c.Links) == 0 {
+		t.Fatal("Degrade mutated the receiver")
+	}
+	// Compose a second failure on the degraded topology.
+	d2, err := d.Degrade([]NodeID{5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Up(4) || d2.Up(5) {
+		t.Fatal("down-states must accumulate")
+	}
+}
+
+// TestDegradeLink: failing an undirected link removes both directions and
+// nothing else; failing enough links partitions, which UpConnected reports.
+func TestDegradeLink(t *testing.T) {
+	c := Campus(100)
+	d, err := c.Degrade(nil, [][2]NodeID{{4, 10}}) // D3–C5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LinkBetween(4, 10) >= 0 || d.LinkBetween(10, 4) >= 0 {
+		t.Fatal("failed link survived")
+	}
+	if len(d.Links) != len(c.Links)-2 {
+		t.Fatalf("links = %d, want %d", len(d.Links), len(c.Links)-2)
+	}
+	if !d.UpConnected() {
+		t.Fatal("campus minus one link must stay connected (D3 still reaches C3)")
+	}
+	// Cutting both of D3's links strands it: partitioned.
+	p, err := c.Degrade(nil, [][2]NodeID{{4, 10}, {4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UpConnected() {
+		t.Fatal("stranded switch not reported as partition")
+	}
+	if _, ok := p.PortByID(5); !ok {
+		t.Fatal("link failures must not remove ports")
+	}
+}
+
+// TestDegradeValidation: unknown elements are rejected.
+func TestDegradeValidation(t *testing.T) {
+	c := Campus(100)
+	if _, err := c.Degrade([]NodeID{99}, nil); err == nil {
+		t.Error("unknown switch accepted")
+	}
+	if _, err := c.Degrade(nil, [][2]NodeID{{0, 5}}); err == nil {
+		t.Error("unknown link accepted")
+	}
+}

@@ -159,6 +159,24 @@ func Divergence(a, b Matrix) float64 {
 	return d / 2
 }
 
+// Restrict returns a copy of m keeping only pairs whose both ports exist
+// in t — the demand that survives a topology degradation. Demands whose
+// ingress or egress port died with its switch carry no routable traffic
+// and would otherwise make the optimizer fail on unreachable endpoints.
+func (m Matrix) Restrict(t *topo.Topology) Matrix {
+	out := make(Matrix, len(m))
+	for k, v := range m {
+		if _, ok := t.PortByID(k[0]); !ok {
+			continue
+		}
+		if _, ok := t.PortByID(k[1]); !ok {
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
 // Scale returns a copy of m with every demand multiplied by f.
 func (m Matrix) Scale(f float64) Matrix {
 	out := make(Matrix, len(m))

@@ -228,3 +228,79 @@ func TestExactOptimizerOption(t *testing.T) {
 		t.Fatal("exact engine placed nothing")
 	}
 }
+
+// TestFaultToleranceAPI exercises the public fault surface: replicated
+// compilation, failure assessment, the compile-side Failover scenario, and
+// the live controller failover with replica promotion.
+func TestFaultToleranceAPI(t *testing.T) {
+	network := snap.Campus(1000)
+	tm := snap.Gravity(network, 100, 1)
+	program := snap.Then(snap.Assumption(6), snap.Then(snap.Monitor(), snap.AssignEgress(6)))
+	dep, err := snap.Compile(program, network, tm, snap.WithReplication(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, ok := dep.Placement()["count"]
+	if !ok {
+		t.Fatal("monitor placed no counter")
+	}
+	backups := dep.Replicas()["count"]
+	if len(backups) != 1 || backups[0] == owner {
+		t.Fatalf("replicas = %v (owner %d), want one distinct backup", backups, owner)
+	}
+
+	// Scenario enumeration covers at least every switch and link.
+	if ss := snap.FailureScenarios(network, 3, 1); len(ss) < network.Switches {
+		t.Fatalf("only %d scenarios", len(ss))
+	}
+
+	// Assessment: killing the owner orphans count, but the replica covers it.
+	ev := snap.SwitchFailure(owner)
+	im, err := dep.AssessFailure(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.Orphans) != 1 || im.Orphans[0] != "count" || len(im.Uncovered) != 0 {
+		t.Fatalf("impact = %+v, want count orphaned and covered", im)
+	}
+
+	// Compile-side failover: a fresh deployment on the surviving network.
+	dep2, err := dep.Failover(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newOwner := dep2.Placement()["count"]; newOwner == owner {
+		t.Fatalf("failover deployment kept the dead owner %d", owner)
+	}
+
+	// Live failover: warm an engine, kill the owner, recover with state.
+	eng := dep.Engine(snap.EngineOptions{Workers: 2})
+	defer eng.Close()
+	ctl := dep.Controller(eng, snap.ControllerOptions{})
+	pairs := tm.Replay(1000, 5)
+	trace := make([]snap.Ingress, len(pairs))
+	for i, uv := range pairs {
+		trace[i] = snap.Ingress{Port: uv[0], Packet: snap.NewPacket(map[snap.Field]snap.Value{
+			snap.Inport: snap.Int(int64(uv[0])),
+			snap.SrcIP:  snap.IPv4(10, 0, byte(uv[0]), 1),
+			snap.DstIP:  snap.IPv4(10, 0, byte(uv[1]), 1),
+		})}
+	}
+	if err := eng.InjectReplay(trace); err != nil {
+		t.Fatal(err)
+	}
+	eng.FlushReplication()
+	if rs := eng.ReplicaStats(); rs.Lag != 0 || rs.Enqueued == 0 {
+		t.Fatalf("replica stats %+v", rs)
+	}
+	rep, err := ctl.Failover(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LostEntries != 0 || rep.LostWrites != 0 || rep.Recovered == 0 {
+		t.Fatalf("failover lost state: %+v", rep)
+	}
+	if _, ok := rep.Promoted["count"]; !ok {
+		t.Fatalf("count not promoted: %+v", rep.Promoted)
+	}
+}
