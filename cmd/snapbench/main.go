@@ -34,7 +34,7 @@ type report struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|throughput|reconfig|failover|all")
+	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|throughput|hotpath|reconfig|failover|all")
 	scaleName := flag.String("scale", "ci", "scale preset: ci|full")
 	jsonPath := flag.String("json", "", "also write the collected rows as JSON to this file (e.g. BENCH.json)")
 	flag.Parse()
@@ -114,6 +114,14 @@ func main() {
 			rep.Experiments[name] = rows
 			fmt.Printf("== Data-plane throughput: campus monitor workload, concurrent engine (scale=%s) ==\n%s\n",
 				scale.Name, bench.FormatThroughput(rows))
+		case "hotpath":
+			rows, err := bench.HotPath(scale)
+			if err != nil {
+				return err
+			}
+			rep.Experiments[name] = rows
+			fmt.Printf("== Compiled fast path: single-core replay vs committed baseline + bare switch visit (scale=%s) ==\n%s\n",
+				scale.Name, bench.FormatHotPath(rows))
 		case "reconfig":
 			rows, err := bench.Reconfig(scale)
 			if err != nil {
@@ -138,7 +146,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table3", "table4", "table5", "table6", "fig9", "fig10", "fig11", "throughput", "reconfig", "failover"}
+		names = []string{"table3", "table4", "table5", "table6", "fig9", "fig10", "fig11", "throughput", "hotpath", "reconfig", "failover"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

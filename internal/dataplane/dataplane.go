@@ -13,6 +13,7 @@ package dataplane
 
 import (
 	"fmt"
+	"sort"
 
 	"snap/internal/netasm"
 	"snap/internal/pkt"
@@ -38,19 +39,46 @@ type Network struct {
 	// MaxHops guards against forwarding loops.
 	MaxHops int
 	stats   counters
+	scratch []netasm.Result
 }
 
-// New instantiates switch VMs for a configuration.
+// New instantiates switch VMs for a configuration, linking each program
+// once against the configuration's shared variable space.
 func New(cfg *rules.Config) *Network {
 	n := &Network{
 		cfg:      cfg,
 		switches: map[topo.NodeID]*netasm.Switch{},
 		MaxHops:  16 * (cfg.Topo.Switches + 2),
 	}
-	for id, sc := range cfg.Switches {
-		n.switches[id] = netasm.NewSwitch(int(id), sc.Prog, sc.Owns)
+	for id, lp := range linkPrograms(cfg) {
+		n.switches[id] = netasm.NewLinkedSwitch(int(id), lp)
 	}
 	return n
+}
+
+// linkPrograms links every switch's program against the configuration's
+// shared variable space, linking each distinct (program, ownership)
+// combination once — rules shares one Program across all switches with
+// the same ownership set, so a fleet of stateless switches links exactly
+// one image.
+func linkPrograms(cfg *rules.Config) map[topo.NodeID]*netasm.Linked {
+	vs := cfg.VarSpace()
+	type linkKey struct {
+		prog *netasm.Program
+		owns string
+	}
+	cache := map[linkKey]*netasm.Linked{}
+	out := make(map[topo.NodeID]*netasm.Linked, len(cfg.Switches))
+	for id, sc := range cfg.Switches {
+		k := linkKey{prog: sc.Prog, owns: rules.OwnsKey(sc.Owns)}
+		lp, ok := cache[k]
+		if !ok {
+			lp = netasm.Link(sc.Prog, vs, sc.Owns)
+			cache[k] = lp
+		}
+		out[id] = lp
+	}
+	return out
 }
 
 type inflight struct {
@@ -80,7 +108,7 @@ func (n *Network) Inject(port int, p pkt.Packet) ([]Delivery, error) {
 	}
 	queue := []inflight{{at: pt.Switch, sp: first}}
 	var out []Delivery
-	seen := map[string]bool{} // eval's output is a set: dedupe multicast copies
+	seen := map[deliveryKey]bool{} // eval's output is a set: dedupe multicast copies
 
 	for len(queue) > 0 {
 		cur := queue[0]
@@ -89,7 +117,8 @@ func (n *Network) Inject(port int, p pkt.Packet) ([]Delivery, error) {
 			return nil, fmt.Errorf("dataplane: hop limit exceeded at switch %d (forwarding loop?)", cur.at)
 		}
 		sw := n.switches[cur.at]
-		results, err := sw.Run(cur.sp)
+		results, err := sw.RunAppend(n.scratch[:0], cur.sp)
+		n.scratch = results
 		if err != nil {
 			return nil, err
 		}
@@ -146,11 +175,18 @@ func (n *Network) Inject(port int, p pkt.Packet) ([]Delivery, error) {
 // Stats returns a snapshot of the simulator counters.
 func (n *Network) Stats() Stats { return n.stats.snapshot() }
 
+// deliveryKey identifies a delivery for multicast dedupe: a comparable
+// struct, so building one is a single Packet.Key call with no formatting.
+type deliveryKey struct {
+	port int
+	pkt  string
+}
+
 // appendDelivery adds a delivery unless an identical packet already exited
 // the same port for this injection: the eval semantics returns packet
 // *sets*, so multicast copies that end up indistinguishable collapse.
-func appendDelivery(out []Delivery, seen map[string]bool, d Delivery) []Delivery {
-	key := fmt.Sprintf("%d|%s", d.Port, d.Packet.Key())
+func appendDelivery(out []Delivery, seen map[deliveryKey]bool, d Delivery) []Delivery {
+	key := deliveryKey{port: d.Port, pkt: d.Packet.Key()}
 	if seen[key] {
 		return out
 	}
@@ -158,12 +194,43 @@ func appendDelivery(out []Delivery, seen map[string]bool, d Delivery) []Delivery
 	return append(out, d)
 }
 
+// sortDeliveries orders deliveries canonically (port, then packet key),
+// computing each packet's key once instead of once per comparison.
+func sortDeliveries(ds []Delivery) {
+	if len(ds) < 2 {
+		return
+	}
+	keys := make([]string, len(ds))
+	for i := range ds {
+		keys[i] = ds[i].Packet.Key()
+	}
+	s := deliverySorter{ds: ds, keys: keys}
+	sort.Sort(&s)
+}
+
+type deliverySorter struct {
+	ds   []Delivery
+	keys []string
+}
+
+func (s *deliverySorter) Len() int { return len(s.ds) }
+func (s *deliverySorter) Less(i, j int) bool {
+	if s.ds[i].Port != s.ds[j].Port {
+		return s.ds[i].Port < s.ds[j].Port
+	}
+	return s.keys[i] < s.keys[j]
+}
+func (s *deliverySorter) Swap(i, j int) {
+	s.ds[i], s.ds[j] = s.ds[j], s.ds[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
 // stateTarget resolves the switch a suspended packet must reach next: the
 // owner of the suspending test's variable, or of the first pending write.
 func stateTarget(cfg *rules.Config, r netasm.Result) (topo.NodeID, bool) {
 	v := r.StateVar
-	if v == "" && len(r.Packet.Hdr.Pending) > 0 {
-		v = r.Packet.Hdr.Pending[0].Var
+	if v == "" && r.Packet.Hdr.PendingLen() > 0 {
+		v = r.Packet.Hdr.PendingAt(0).Var
 	}
 	node, ok := cfg.Placement[v]
 	return node, ok
@@ -183,7 +250,7 @@ func nextHop(cfg *rules.Config, at topo.NodeID, sp netasm.SimPacket, target topo
 // can honor injected link failures (a send over a dead link drops).
 func nextHopLink(cfg *rules.Config, at topo.NodeID, sp netasm.SimPacket, target topo.NodeID) (topo.NodeID, int, error) {
 	sc := cfg.Switches[at]
-	if sp.Hdr.OBSOut >= 0 && sp.Hdr.Phase == netasm.PhaseDeliver && len(sp.Hdr.Pending) == 0 {
+	if sp.Hdr.OBSOut >= 0 && sp.Hdr.Phase == netasm.PhaseDeliver && sp.Hdr.PendingLen() == 0 {
 		if li, ok := sc.RouteNext[[2]int{sp.Hdr.OBSIn, sp.Hdr.OBSOut}]; ok {
 			return cfg.Topo.Links[li].To, li, nil
 		}
@@ -204,25 +271,26 @@ func (n *Network) GlobalState() *state.Store { return unionState(n.switches) }
 // e.g. to build an Engine over the same deployment.
 func (n *Network) Config() *rules.Config { return n.cfg }
 
-// SwitchTable exposes one switch's tables (tests and diagnostics).
+// SwitchTable snapshots one switch's tables (tests and diagnostics) in
+// canonical Store form. The runtime representation is the switch's dense
+// tables; the returned store is a copy.
 func (n *Network) SwitchTable(id topo.NodeID) *state.Store {
 	return switchTable(n.switches, id)
 }
 
-// unionState and switchTable are the state views both runtimes share.
+// unionState and switchTable are the state views both runtimes share,
+// converting the switches' dense runtime tables to canonical stores.
 func unionState(switches map[topo.NodeID]*netasm.Switch) *state.Store {
 	out := state.NewStore()
 	for _, sw := range switches {
-		for _, v := range sw.Tables.Vars() {
-			out.CopyVar(sw.Tables, v)
-		}
+		sw.StateInto(out)
 	}
 	return out
 }
 
 func switchTable(switches map[topo.NodeID]*netasm.Switch, id topo.NodeID) *state.Store {
 	if sw, ok := switches[id]; ok {
-		return sw.Tables
+		return sw.Snapshot()
 	}
 	return nil
 }

@@ -112,22 +112,29 @@ type item struct {
 }
 
 // injection tracks one injected packet across all its in-flight copies.
+// Stream-mode injections (no delivery collection) are pooled: the steady
+// replay loop re-uses retired injection records instead of allocating one
+// per packet.
 type injection struct {
-	refs atomic.Int32
-	done func()
+	refs   atomic.Int32
+	eng    *Engine
+	wg     *sync.WaitGroup
+	pooled bool
 
 	// Delivery collection (nil seen = stream mode, deliveries only counted).
 	mu   sync.Mutex
-	seen map[string]bool
+	seen map[deliveryKey]bool
 	out  []Delivery
 }
 
+var injPool = sync.Pool{New: func() any { return new(injection) }}
+
 func (in *injection) deliver(d Delivery) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
 	if in.seen == nil {
 		return
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	in.out = appendDelivery(in.out, in.seen, d)
 }
 
@@ -137,8 +144,22 @@ func (in *injection) release(n int) {
 		return
 	}
 	if in.refs.Add(int32(-n)) == 0 {
-		in.done()
+		in.finish()
 	}
+}
+
+// finish completes the injection: release the admission window and gate,
+// notify the waiter, and return pooled records. Batch-mode injections are
+// not pooled — the caller still reads their collected deliveries.
+func (in *injection) finish() {
+	e, wg := in.eng, in.wg
+	if in.pooled {
+		in.eng, in.wg, in.pooled = nil, nil, false
+		injPool.Put(in)
+	}
+	<-e.window
+	e.gate.leave()
+	wg.Done()
 }
 
 // gate is the engine's admission barrier, the mechanism behind quiescent
@@ -210,6 +231,24 @@ type plane struct {
 	cfg      *rules.Config
 	switches map[topo.NodeID]*netasm.Switch
 	locks    map[topo.NodeID]state.LockSet
+	// owners is the dense state-owner lookup: variable id (in cfg's
+	// VarSpace) → owning switch. placed marks ids that have an owner.
+	// Suspended packets carry variable ids, so the per-hop owner lookup is
+	// an array index; the string Placement map remains authoritative for
+	// the control plane and for results that predate the space (-1 ids).
+	owners []topo.NodeID
+	placed []bool
+	// maxFork is the widest multicast fork over all linked programs.
+	maxFork int
+}
+
+// stateTarget resolves the switch a suspended packet must reach, by dense
+// id when the result carries one and by name otherwise.
+func (pl *plane) stateTarget(r netasm.Result) (topo.NodeID, bool) {
+	if id := r.StateVarID; id >= 0 && int(id) < len(pl.owners) && pl.placed[id] {
+		return pl.owners[id], true
+	}
+	return stateTarget(pl.cfg, r)
 }
 
 // StateRewrite transforms the global state store during ApplyConfig, after
@@ -293,18 +332,13 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 		quit:    make(chan struct{}),
 	}
 	e.rep = newReplicator(e, cfg)
-	e.plane.Store(e.buildPlane(cfg, e.rep))
+	pl := e.buildPlane(cfg, e.rep)
+	e.plane.Store(pl)
 	e.rep.start()
-	maxFork := 1
-	for _, sc := range cfg.Switches {
-		if f := sc.Prog.MaxFork(); f > maxFork {
-			maxFork = f
-		}
-	}
 	// In-flight copies never exceed Window × maxFork (multicast forks
 	// once, at the xFDD leaf dispatch), so inboxes of this capacity make
 	// inter-switch sends non-blocking and the channel graph deadlock-free.
-	inboxCap := opts.Window * maxFork
+	inboxCap := opts.Window * pl.maxFork
 	if opts.InboxCapacity > 0 {
 		inboxCap = opts.InboxCapacity
 	}
@@ -320,8 +354,9 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 			e.wg.Add(1)
 			go func() {
 				defer e.wg.Done()
+				var sc stepScratch
 				for it := range ch {
-					e.step(node, it)
+					e.step(node, it, &sc)
 				}
 			}()
 		}
@@ -330,6 +365,7 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 }
 
 // buildPlane instantiates switch VMs and lock sets for a configuration,
+// linking each program once against the configuration's variable space and
 // drawing locks from the engine's stripe pool so successive plane epochs
 // keep a consistent variable→stripe mapping.
 func (e *Engine) buildPlane(cfg *rules.Config, rep *replicator) *plane {
@@ -337,14 +373,28 @@ func (e *Engine) buildPlane(cfg *rules.Config, rep *replicator) *plane {
 		cfg:      cfg,
 		switches: make(map[topo.NodeID]*netasm.Switch, len(cfg.Switches)),
 		locks:    make(map[topo.NodeID]state.LockSet, len(cfg.Switches)),
+		maxFork:  1,
 	}
+	linked := linkPrograms(cfg)
 	for id, sc := range cfg.Switches {
-		sw := netasm.NewSwitch(int(id), sc.Prog, sc.Owns)
+		sw := netasm.NewLinkedSwitch(int(id), linked[id])
 		if hook := rep.hookFor(id, sc.Owns); hook != nil {
 			sw.OnStateWrite = hook
 		}
 		p.switches[id] = sw
 		p.locks[id] = e.stripes.LockSet(sw.LockVars())
+		if f := sw.MaxFork(); f > p.maxFork {
+			p.maxFork = f
+		}
+	}
+	vs := cfg.VarSpace()
+	p.owners = make([]topo.NodeID, vs.Len())
+	p.placed = make([]bool, vs.Len())
+	for i := range p.owners {
+		if node, ok := cfg.Placement[vs.Name(i)]; ok {
+			p.owners[i] = node
+			p.placed[i] = true
+		}
 	}
 	return p
 }
@@ -408,6 +458,14 @@ type hop struct {
 	it item
 }
 
+// stepScratch is per-goroutine reusable working memory for step: the VM
+// result buffer and the continuation list. Reusing it across visits keeps
+// the steady-state packet loop allocation-free.
+type stepScratch struct {
+	results []netasm.Result
+	cont    []hop
+}
+
 // step executes one packet copy at one switch and routes the results.
 //
 // Scheduling follows the run-to-completion model of fast packet
@@ -427,7 +485,7 @@ type hop struct {
 // The plane pointer is reloaded per visit; it can only change between
 // visits of different epochs, because ApplyConfig swaps it strictly while
 // the gate holds the engine quiescent.
-func (e *Engine) step(at topo.NodeID, it item) {
+func (e *Engine) step(at topo.NodeID, it item, sc *stepScratch) {
 	for {
 		if e.failed.Load() {
 			it.inj.release(1)
@@ -455,7 +513,8 @@ func (e *Engine) step(at topo.NodeID, it item) {
 			ls.Lock()
 		}
 		e.slots <- struct{}{}
-		results, err := sw.Run(it.sp)
+		results, err := sw.RunAppend(sc.results[:0], it.sp)
+		sc.results = results
 		<-e.slots
 		if !ls.Empty() {
 			ls.Unlock()
@@ -474,7 +533,7 @@ func (e *Engine) step(at topo.NodeID, it item) {
 		// This copy becomes len(results) copies; retire the terminal ones.
 		it.inj.refs.Add(int32(len(results) - 1))
 		terminal := 0
-		var cont []hop
+		cont := sc.cont[:0]
 		for _, r := range results {
 			switch r.Outcome {
 			case netasm.Dropped:
@@ -491,7 +550,7 @@ func (e *Engine) step(at topo.NodeID, it item) {
 			case netasm.NeedState:
 				e.stats.suspends.Add(1)
 				e.load[at].suspends.Add(1)
-				target, ok := stateTarget(pl.cfg, r)
+				target, ok := pl.stateTarget(r)
 				if !ok {
 					e.fail(fmt.Errorf("dataplane: no owner for state of packet at switch %d", at))
 					terminal++
@@ -551,6 +610,7 @@ func (e *Engine) step(at topo.NodeID, it item) {
 			}
 		}
 		it.inj.release(terminal)
+		sc.cont = cont
 		if len(cont) == 0 {
 			return
 		}
@@ -564,11 +624,14 @@ func (e *Engine) step(at topo.NodeID, it item) {
 }
 
 // inject admits one packet (blocking on the gate, then the window) and
-// enqueues it at its ingress switch. collect controls whether deliveries
-// are recorded. An unknown port rejects only this injection — the caller
-// gets the error and the engine stays usable; packets admitted before the
-// bad one have already run, which stream callers must expect.
-func (e *Engine) inject(ing Ingress, collect bool, done func()) (*injection, error) {
+// runs it: enqueued at its ingress switch's inbox, or — when the caller
+// passes a scratch — executed inline on the calling goroutine
+// (run-to-completion from the ingress, the single-worker fast path; see
+// InjectReplay). collect controls whether deliveries are recorded. An
+// unknown port rejects only this injection — the caller gets the error and
+// the engine stays usable; packets admitted before the bad one have
+// already run, which stream callers must expect.
+func (e *Engine) inject(ing Ingress, collect bool, wg *sync.WaitGroup, sc *stepScratch) (*injection, error) {
 	e.gate.enter()
 	pl := e.plane.Load()
 	pt, ok := pl.cfg.Topo.PortByID(ing.Port)
@@ -578,14 +641,14 @@ func (e *Engine) inject(ing Ingress, collect bool, done func()) (*injection, err
 	}
 	e.window <- struct{}{}
 	e.stats.injected.Add(1)
-	inj := &injection{done: func() {
-		<-e.window
-		e.gate.leave()
-		done()
-	}}
+	var inj *injection
 	if collect {
-		inj.seen = map[string]bool{}
+		inj = &injection{seen: map[deliveryKey]bool{}}
+	} else {
+		inj = injPool.Get().(*injection)
+		inj.pooled = true
 	}
+	inj.eng, inj.wg = e, wg
 	inj.refs.Store(1)
 	sp := netasm.SimPacket{
 		Pkt: ing.Packet,
@@ -597,8 +660,26 @@ func (e *Engine) inject(ing Ingress, collect bool, done func()) (*injection, err
 			Phase:  netasm.PhaseEval,
 		},
 	}
-	e.send(pt.Switch, item{sp: sp, inj: inj})
+	wg.Add(1)
+	if sc != nil {
+		e.step(pt.Switch, item{sp: sp, inj: inj}, sc)
+	} else {
+		e.send(pt.Switch, item{sp: sp, inj: inj})
+	}
 	return inj, nil
+}
+
+// injectScratch decides whether injections run inline on the injecting
+// goroutine: with a single execution slot the channel handoff to a switch
+// worker buys no parallelism and costs a wakeup per packet, so the caller
+// becomes the worker (multicast extras still flow through the inboxes).
+// With more workers, handing the packet off keeps the injector free to
+// admit the next one.
+func (e *Engine) injectScratch() *stepScratch {
+	if e.opts.Workers == 1 {
+		return &stepScratch{}
+	}
+	return nil
 }
 
 // InjectBatch pushes a batch of packets through the plane concurrently and
@@ -628,14 +709,13 @@ func (e *Engine) InjectBatch(batch []Ingress) ([][]Delivery, error) {
 	out := make([][]Delivery, len(batch))
 	injs := make([]*injection, 0, len(batch))
 	var batchWg sync.WaitGroup
+	sc := e.injectScratch()
 	for _, ing := range batch {
 		if e.failed.Load() {
 			break
 		}
-		batchWg.Add(1)
-		inj, err := e.inject(ing, true, batchWg.Done)
+		inj, err := e.inject(ing, true, &batchWg, sc)
 		if err != nil {
-			batchWg.Done()
 			batchWg.Wait()
 			return nil, err
 		}
@@ -646,14 +726,8 @@ func (e *Engine) InjectBatch(batch []Ingress) ([][]Delivery, error) {
 		return nil, e.err
 	}
 	for i, inj := range injs {
-		ds := inj.out
-		sort.Slice(ds, func(a, b int) bool {
-			if ds[a].Port != ds[b].Port {
-				return ds[a].Port < ds[b].Port
-			}
-			return ds[a].Packet.Key() < ds[b].Packet.Key()
-		})
-		out[i] = ds
+		sortDeliveries(inj.out)
+		out[i] = inj.out
 	}
 	return out, nil
 }
@@ -684,14 +758,13 @@ func (e *Engine) stream(next func() (Ingress, bool)) error {
 		return e.err
 	}
 	var wg sync.WaitGroup
+	sc := e.injectScratch()
 	for {
 		ing, ok := next()
 		if !ok || e.failed.Load() {
 			break
 		}
-		wg.Add(1)
-		if _, err := e.inject(ing, false, wg.Done); err != nil {
-			wg.Done()
+		if _, err := e.inject(ing, false, &wg, sc); err != nil {
 			wg.Wait()
 			return err
 		}
@@ -805,7 +878,7 @@ func (e *Engine) apply(cfg *rules.Config, rewrite StateRewrite, degraded bool) (
 		if !cfg.Topo.Up(owner) {
 			return nil, fmt.Errorf("dataplane: state variable %s placed on down switch %d", v, owner)
 		}
-		next.switches[owner].Tables.CopyVar(global, v)
+		next.switches[owner].SeedVar(global, v)
 	}
 	e.plane.Store(next)
 	e.epoch.Add(1)
@@ -854,7 +927,7 @@ func (e *Engine) recoverOrphans(old *plane, cfg *rules.Config, global *state.Sto
 			continue
 		}
 		if victim := old.switches[owner]; victim != nil {
-			if n := len(victim.Tables.Entries(v)); n > 0 {
+			if n := victim.EntryCount(v); n > 0 {
 				fs.LostVars = append(fs.LostVars, v)
 				fs.LostEntries += n
 			}
@@ -923,10 +996,7 @@ func (e *Engine) unionUpState(switches map[topo.NodeID]*netasm.Switch) *state.St
 		if e.down[id].Load() {
 			continue
 		}
-		sw := switches[id]
-		for _, v := range sw.Tables.Vars() {
-			out.CopyVar(sw.Tables, v)
-		}
+		switches[id].StateInto(out)
 	}
 	return out
 }
@@ -1055,9 +1125,5 @@ func (e *Engine) GlobalState() *state.Store {
 func (e *Engine) SwitchTable(id topo.NodeID) *state.Store {
 	e.gate.pause()
 	defer e.gate.resume()
-	tbl := switchTable(e.plane.Load().switches, id)
-	if tbl == nil {
-		return nil
-	}
-	return tbl.Clone()
+	return switchTable(e.plane.Load().switches, id)
 }

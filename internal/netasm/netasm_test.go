@@ -55,7 +55,7 @@ func TestBranchAndWrite(t *testing.T) {
 	if rs[0].Packet.Hdr.OBSOut != 6 {
 		t.Fatalf("outport: %d", rs[0].Packet.Hdr.OBSOut)
 	}
-	if got := sw.Tables.Get("c", values.Tuple{values.Int(1)}); !values.Eq(got, values.Int(1)) {
+	if got := sw.StateGet("c", values.Tuple{values.Int(1)}); !values.Eq(got, values.Int(1)) {
 		t.Fatalf("counter: %v", got)
 	}
 
@@ -116,7 +116,7 @@ func TestSuspendAndResume(t *testing.T) {
 		t.Fatalf("expected drop on false branch: %+v", rs[0])
 	}
 	// Seed the state and retry: true branch assigns outport 2.
-	b.Tables.Set("s", values.Tuple{values.Int(53)}, values.Bool(true))
+	b.StateSet("s", values.Tuple{values.Int(53)}, values.Bool(true))
 	rs, err = b.Run(mkPacket(53))
 	if err != nil {
 		t.Fatal(err)
@@ -149,7 +149,7 @@ func TestPendingWritesCommitInOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := rs[0]
-	if r.Outcome != netasm.NeedState || len(r.Packet.Hdr.Pending) != 2 {
+	if r.Outcome != netasm.NeedState || r.Packet.Hdr.PendingLen() != 2 {
 		t.Fatalf("pending resolution: %+v", r)
 	}
 	rs, err = b.Run(r.Packet)
@@ -159,7 +159,7 @@ func TestPendingWritesCommitInOrder(t *testing.T) {
 	if rs[0].Outcome != netasm.ToEgress {
 		t.Fatalf("after commit: %+v", rs[0])
 	}
-	if got := b.Tables.Get("s", values.Tuple{values.Int(1)}); !values.Eq(got, values.Int(11)) {
+	if got := b.StateGet("s", values.Tuple{values.Int(1)}); !values.Eq(got, values.Int(11)) {
 		t.Fatalf("committed value: %v, want 11 (set 10 then ++)", got)
 	}
 }
@@ -221,7 +221,7 @@ func TestDropCommitsPending(t *testing.T) {
 	if rs[0].Outcome != netasm.Dropped {
 		t.Fatalf("after commit the copy drops: %+v", rs[0])
 	}
-	if got := owner.Tables.Get("flag", values.Tuple{values.Int(1)}); !got.True() {
+	if got := owner.StateGet("flag", values.Tuple{values.Int(1)}); !got.True() {
 		t.Fatal("pending write lost on dropped packet")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"snap/internal/netasm"
 	"snap/internal/place"
@@ -63,6 +64,42 @@ type Config struct {
 	// instructions, so the per-switch programs are unaffected.
 	Replicas map[string][]topo.NodeID
 	Switches map[topo.NodeID]*SwitchConfig
+
+	varsOnce sync.Once
+	vars     *netasm.VarSpace
+}
+
+// VarSpace returns the configuration's dense state-variable id space: every
+// placed variable plus every variable the per-switch programs reference,
+// id-assigned by sorted name. The link step (netasm.Link) resolves each
+// program against this one shared space, so pending writes can carry
+// variable ids between switches and the engine can look owners up by array
+// index. Names remain the canonical identity everywhere the control plane
+// is involved — Placement, snapshots, replication, shard merges — and the
+// mapping is immutable for the configuration's lifetime (a recompiled
+// configuration gets its own space; the engine never lets packets cross
+// epochs).
+func (c *Config) VarSpace() *netasm.VarSpace {
+	c.varsOnce.Do(func() {
+		var names []string
+		for v := range c.Placement {
+			names = append(names, v)
+		}
+		seen := map[*netasm.Program]bool{}
+		for _, sc := range c.Switches {
+			if sc.Prog == nil || seen[sc.Prog] {
+				continue
+			}
+			seen[sc.Prog] = true
+			for _, ins := range sc.Prog.Instrs {
+				if ins.Var != "" {
+					names = append(names, ins.Var)
+				}
+			}
+		}
+		c.vars = netasm.NewVarSpace(names)
+	})
+	return c.vars
 }
 
 // ReplicaOf reports the variables switch n backs up, sorted. Used for
@@ -147,7 +184,7 @@ func GenerateReplicated(d *xfdd.Diagram, t *topo.Topology, placement map[string]
 			RouteNext: map[[2]int]int{},
 			SPNext:    spNext[n],
 		}
-		ck := ownsKey(owns)
+		ck := OwnsKey(owns)
 		cp, ok := progCache[ck]
 		if !ok {
 			prog, stats, err := compileProgram(d, ids, owns)
@@ -187,14 +224,19 @@ func GenerateReplicated(d *xfdd.Diagram, t *topo.Topology, placement map[string]
 	return cfg, nil
 }
 
-// ownsKey is a canonical signature of an ownership set.
-func ownsKey(owns map[string]bool) string {
+// OwnsKey is the canonical signature of an ownership set (sorted
+// owned-variable names, NUL-joined; false entries are not owned and do
+// not contribute). Generate keys its program cache with it and the
+// dataplane keys linked-program caches with it.
+func OwnsKey(owns map[string]bool) string {
 	if len(owns) == 0 {
 		return ""
 	}
 	vars := make([]string, 0, len(owns))
-	for v := range owns {
-		vars = append(vars, v)
+	for v, ok := range owns {
+		if ok {
+			vars = append(vars, v)
+		}
 	}
 	sort.Strings(vars)
 	return strings.Join(vars, "\x00")

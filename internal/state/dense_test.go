@@ -1,0 +1,136 @@
+package state
+
+import (
+	"testing"
+
+	"snap/internal/values"
+)
+
+func vec(vs ...values.Value) values.Vec {
+	v, ok := values.VecOf(values.Tuple(vs))
+	if !ok {
+		panic("vec too wide")
+	}
+	return v
+}
+
+func TestTableGetSetAdd(t *testing.T) {
+	var tbl Table
+	idx := vec(values.Int(3))
+	k := KeyOf(idx)
+	if got := tbl.Get(k); !values.Eq(got, Default) {
+		t.Fatalf("empty read: %v", got)
+	}
+	tbl.Set(k, idx, values.Bool(true))
+	if got := tbl.Get(k); !got.True() {
+		t.Fatalf("after set: %v", got)
+	}
+	// Add coerces like Store.Add: True → 1, then +1.
+	if _, v := tbl.Add(k, idx, 1); !values.Eq(v, values.Int(2)) {
+		t.Fatalf("add on bool: %v", v)
+	}
+	// Absent entry: Default (False) coerces to 0.
+	idx2 := vec(values.Int(9))
+	if _, v := tbl.Add(KeyOf(idx2), idx2, -1); !values.Eq(v, values.Int(-1)) {
+		t.Fatalf("add on absent: %v", v)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("len: %d", tbl.Len())
+	}
+}
+
+// Keys must collide exactly when the canonical string keys collide:
+// booleans and integers coerce, IPs and prefixes do not.
+func TestKeyCollisionClasses(t *testing.T) {
+	pairs := []values.Tuple{
+		{values.Bool(true)}, {values.Int(1)},
+		{values.Int(0)}, {values.Bool(false)},
+		{values.IP(1)}, {values.Int(1), values.Int(0)},
+		{values.String("a")}, {values.Prefix(10<<24, 8)},
+	}
+	for _, a := range pairs {
+		for _, b := range pairs {
+			ka, ok := KeyOfTuple(a)
+			if !ok {
+				t.Fatal("unexpected wide")
+			}
+			kb, _ := KeyOfTuple(b)
+			if (ka == kb) != (a.Key() == b.Key()) {
+				t.Fatalf("Key collision mismatch for %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+// The dense table and the canonical store must convert losslessly in both
+// directions, including the raw (uncanonicalized) index tuples.
+func TestTableStoreRoundTrip(t *testing.T) {
+	st := NewStore()
+	st.Set("v", values.Tuple{values.Bool(true)}, values.Int(7))
+	st.Set("v", values.Tuple{values.IPv4(10, 0, 0, 1), values.Int(80)}, values.Bool(true))
+	wide := values.Tuple{values.Int(1), values.Int(2), values.Int(3), values.Int(4), values.Int(5)}
+	st.Set("v", wide, values.String("w"))
+
+	var tbl Table
+	tbl.SeedFrom(st, "v")
+	if tbl.Len() != 3 {
+		t.Fatalf("seeded entries: %d", tbl.Len())
+	}
+	if got := tbl.GetWide(wide); !values.Eq(got, values.String("w")) {
+		t.Fatalf("wide read: %v", got)
+	}
+
+	back := NewStore()
+	tbl.AddToStore(back, "v")
+	if !back.Equal(st) {
+		t.Fatalf("round trip diverges:\n%s\nvs\n%s", back, st)
+	}
+	// Raw index tuples survive: the bool-indexed entry still renders True.
+	found := false
+	for _, e := range back.Entries("v") {
+		if len(e.Idx) == 1 && e.Idx[0] == values.Bool(true) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("raw bool index lost in round trip")
+	}
+}
+
+// Overwrites keep the first-insert index tuple and do not re-clone it.
+func TestSetRetainsFirstIndex(t *testing.T) {
+	var tbl Table
+	idx := vec(values.Bool(true))
+	first := tbl.Set(KeyOf(idx), idx, values.Int(1))
+	// Eq-equal but distinct raw index: entry keeps the original.
+	idx2 := vec(values.Int(1))
+	second := tbl.Set(KeyOf(idx2), idx2, values.Int(2))
+	if &first[0] != &second[0] {
+		t.Fatal("overwrite re-cloned the index tuple")
+	}
+	if first[0] != values.Bool(true) {
+		t.Fatalf("retained index changed: %v", first[0])
+	}
+
+	st := NewStore()
+	st.Set("s", values.Tuple{values.Bool(true)}, values.Int(1))
+	st.Set("s", values.Tuple{values.Int(1)}, values.Int(2))
+	es := st.Entries("s")
+	if len(es) != 1 || es[0].Idx[0] != values.Bool(true) || !values.Eq(es[0].Val, values.Int(2)) {
+		t.Fatalf("store overwrite: %+v", es)
+	}
+}
+
+func TestTableEntriesSorted(t *testing.T) {
+	var tbl Table
+	for i := 5; i >= 0; i-- {
+		idx := vec(values.Int(int64(i)))
+		tbl.Set(KeyOf(idx), idx, values.Int(int64(i)))
+	}
+	es := tbl.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Idx.Key() > es[i].Idx.Key() {
+			t.Fatalf("entries unsorted at %d", i)
+		}
+	}
+}

@@ -48,7 +48,9 @@ func (st *Store) Get(s string, idx values.Tuple) values.Value {
 	return Default
 }
 
-// Set writes s[idx] ← v.
+// Set writes s[idx] ← v. The entry retains the index tuple it was first
+// written with; overwrites update the value in place instead of re-cloning
+// the tuple, so an entry costs one index copy per lifetime, not per write.
 func (st *Store) Set(s string, idx values.Tuple, v values.Value) {
 	if st.vars == nil {
 		st.vars = make(map[string]map[string]Entry)
@@ -58,7 +60,13 @@ func (st *Store) Set(s string, idx values.Tuple, v values.Value) {
 		m = make(map[string]Entry)
 		st.vars[s] = m
 	}
-	m[idx.Key()] = Entry{Idx: append(values.Tuple(nil), idx...), Val: v}
+	k := idx.Key()
+	if e, ok := m[k]; ok {
+		e.Val = v
+		m[k] = e
+		return
+	}
+	m[k] = Entry{Idx: append(values.Tuple(nil), idx...), Val: v}
 }
 
 // Add implements s[idx]++ / s[idx]-- with the given delta, coercing the

@@ -1,0 +1,62 @@
+package values
+
+import "testing"
+
+func TestVecRoundTrip(t *testing.T) {
+	in := Tuple{Int(1), Bool(true), IPv4(10, 0, 0, 1), String("x")}
+	v, ok := VecOf(in)
+	if !ok || v.Len() != 4 {
+		t.Fatalf("VecOf: ok=%v len=%d", ok, v.Len())
+	}
+	out := v.Tuple()
+	if len(out) != len(in) {
+		t.Fatalf("round trip length: %d", len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("round trip[%d]: %v != %v", i, in[i], out[i])
+		}
+	}
+	if _, ok := VecOf(make(Tuple, MaxVec+1)); ok {
+		t.Fatal("VecOf must reject tuples wider than MaxVec")
+	}
+}
+
+func TestVecPush(t *testing.T) {
+	var v Vec
+	for i := 0; i < MaxVec; i++ {
+		if !v.Push(Int(int64(i))) {
+			t.Fatalf("push %d refused", i)
+		}
+	}
+	if v.Push(Int(99)) {
+		t.Fatal("push past capacity must refuse")
+	}
+	if v.Len() != MaxVec || v.At(1) != Int(1) {
+		t.Fatalf("contents: %+v", v)
+	}
+}
+
+// Canon must collapse exactly the Eq-equivalence classes: after
+// canonicalization, semantic equality coincides with ==.
+func TestCanonMatchesEq(t *testing.T) {
+	vals := []Value{
+		None, Bool(false), Bool(true), Int(0), Int(1), Int(7),
+		IP(7), IPv4(10, 0, 0, 1), Prefix(10<<24, 8), String("a"), String(""),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if got := Canon(a) == Canon(b); got != Eq(a, b) {
+				t.Fatalf("Canon(%v)==Canon(%v) is %v but Eq is %v", a, b, got, Eq(a, b))
+			}
+		}
+	}
+	// Canonical keys agree with the string Key encoding's collisions.
+	for _, a := range vals {
+		for _, b := range vals {
+			if (a.Key() == b.Key()) != (Canon(a) == Canon(b)) {
+				t.Fatalf("Key/Canon disagree for %v vs %v", a, b)
+			}
+		}
+	}
+}
