@@ -34,8 +34,9 @@ type report struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|throughput|hotpath|reconfig|failover|all")
+	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|throughput|scale|hotpath|reconfig|failover|all")
 	scaleName := flag.String("scale", "ci", "scale preset: ci|full")
+	cpu := flag.Int("cpu", 0, "GOMAXPROCS for the throughput and scale experiments (0 = host default); 1-core rows are always emitted alongside")
 	jsonPath := flag.String("json", "", "also write the collected rows as JSON to this file (e.g. BENCH.json)")
 	flag.Parse()
 
@@ -107,13 +108,21 @@ func main() {
 			fmt.Printf("== Figure 11: scaling with composed policies (scale=%s) ==\n%s\n",
 				scale.Name, bench.FormatFig11(rows))
 		case "throughput":
-			rows, err := bench.Throughput(scale)
+			rows, err := bench.ThroughputCPUs(scale, *cpu)
 			if err != nil {
 				return err
 			}
 			rep.Experiments[name] = rows
 			fmt.Printf("== Data-plane throughput: campus monitor workload, concurrent engine (scale=%s) ==\n%s\n",
 				scale.Name, bench.FormatThroughput(rows))
+		case "scale":
+			rows, err := bench.ScaleMatrix(scale, *cpu)
+			if err != nil {
+				return err
+			}
+			rep.Experiments[name] = rows
+			fmt.Printf("== Multi-core scaling: lock vs replication discipline, unsharded monitor (scale=%s) ==\n%s\n",
+				scale.Name, bench.FormatScale(rows))
 		case "hotpath":
 			rows, err := bench.HotPath(scale)
 			if err != nil {
@@ -146,7 +155,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table3", "table4", "table5", "table6", "fig9", "fig10", "fig11", "throughput", "hotpath", "reconfig", "failover"}
+		names = []string{"table3", "table4", "table5", "table6", "fig9", "fig10", "fig11", "throughput", "scale", "hotpath", "reconfig", "failover"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

@@ -19,7 +19,13 @@
 //
 // -shard splits the named state variable into per-ingress-port shards
 // (Appendix C) before compiling, letting the optimizer spread its state so
-// disjoint flows do not contend.
+// disjoint flows do not contend. -replicate instead keeps the variables
+// whole and switches the engine to the state-compute replication
+// discipline: each worker runs against private state replicas and the
+// hot path takes no locks (the engine falls back to locks, and says why,
+// when the policy is outside the replicable fragment). The load report
+// prints the executed discipline and, under locks, the per-variable
+// contention table — the signal for choosing -shard or -replicate.
 //
 // With -drift it becomes the live-reconfiguration demo: the trace's
 // traffic matrix shifts halfway through the replay, the control loop
@@ -67,6 +73,7 @@ func main() {
 	switchWorkers := flag.Int("switch-workers", 2, "goroutines per switch (load mode)")
 	window := flag.Int("window", 256, "in-flight packet admission window (load mode)")
 	shardVar := flag.String("shard", "", "shard this state variable by ingress port before compiling")
+	replicate := flag.Bool("replicate", false, "run the load engine under the state-compute replication discipline (lock-free per-worker replicas)")
 	drift := flag.Bool("drift", false, "shift the traffic matrix mid-replay and run the reconfiguration control loop")
 	kill := flag.String("kill", "", "kill this switch mid-replay and fail over (campus name like C3, s<id>, or 'auto' for the first state owner)")
 	replicas := flag.Int("replicas", 2, "state replication factor for the -kill demo (1 = none)")
@@ -103,6 +110,11 @@ func main() {
 		fail(err)
 	}
 	fmt.Print(dep.Summary())
+	if *verbose {
+		for _, d := range dep.LinkDiagnostics() {
+			fmt.Printf("link: %s\n", d)
+		}
+	}
 
 	if *kill != "" {
 		n := *load
@@ -121,7 +133,7 @@ func main() {
 		return
 	}
 	if *load > 0 {
-		runLoad(dep, tm, *load, *seed, *workers, *switchWorkers, *window)
+		runLoad(dep, tm, *load, *seed, *workers, *switchWorkers, *window, *replicate)
 		return
 	}
 
@@ -163,7 +175,7 @@ func main() {
 
 // runLoad replays a matrix-drawn trace through the concurrent engine and
 // reports throughput plus each switch's share of the work.
-func runLoad(dep *snap.Deployment, tm snap.TrafficMatrix, n int, seed int64, workers, switchWorkers, window int) {
+func runLoad(dep *snap.Deployment, tm snap.TrafficMatrix, n int, seed int64, workers, switchWorkers, window int, replicate bool) {
 	rng := rand.New(rand.NewSource(seed))
 	pairs := tm.Replay(n, seed)
 	trace := make([]snap.Ingress, len(pairs))
@@ -172,11 +184,18 @@ func runLoad(dep *snap.Deployment, tm snap.TrafficMatrix, n int, seed int64, wor
 	}
 
 	eng := dep.Engine(snap.EngineOptions{
-		Workers:       workers,
-		SwitchWorkers: switchWorkers,
-		Window:        window,
+		Workers:          workers,
+		SwitchWorkers:    switchWorkers,
+		Window:           window,
+		StateReplication: replicate,
 	})
 	defer eng.Close()
+	if replicate && eng.ExecMode() != snap.ModeReplication {
+		fmt.Println("\nreplication requested but the policy is outside the replicable fragment; running under locks:")
+		for _, r := range eng.ReplicationFallback() {
+			fmt.Printf("  %s\n", r)
+		}
+	}
 
 	start := time.Now()
 	if err := eng.InjectReplay(trace); err != nil {
@@ -185,11 +204,28 @@ func runLoad(dep *snap.Deployment, tm snap.TrafficMatrix, n int, seed int64, wor
 	elapsed := time.Since(start)
 	st := eng.Stats()
 
-	fmt.Printf("\nreplayed %d packets in %s with %d workers (%d/switch, window %d): %.0f pps\n",
-		n, elapsed.Round(time.Millisecond), workers, switchWorkers, window,
+	fmt.Printf("\nreplayed %d packets in %s with %d workers (%d/switch, window %d, %s discipline): %.0f pps\n",
+		n, elapsed.Round(time.Millisecond), workers, switchWorkers, window, eng.ExecMode(),
 		float64(n)/elapsed.Seconds())
 	fmt.Printf("delivered %d, dropped %d, suspends %d, inter-switch hops %d\n",
 		st.Delivered, st.Dropped, st.Suspends, st.Hops)
+	if eng.ExecMode() == snap.ModeLocks {
+		fmt.Printf("lock contention: %d blocked acquisitions, %s total wait\n",
+			st.LockSuspends, time.Duration(st.LockWaitNs))
+		cont := eng.LockContention()
+		if len(cont) > 0 {
+			vars := make([]string, 0, len(cont))
+			for v := range cont {
+				vars = append(vars, v)
+			}
+			sort.Strings(vars)
+			fmt.Printf("\n%-16s %10s %12s\n", "variable", "suspends", "wait")
+			for _, v := range vars {
+				c := cont[v]
+				fmt.Printf("%-16s %10d %12s\n", v, c.Suspends, time.Duration(c.WaitNs))
+			}
+		}
+	}
 
 	loadMap := eng.Load()
 	ids := make([]snap.NodeID, 0, len(loadMap))

@@ -55,7 +55,8 @@ type Delivery = dataplane.Delivery
 // pools connected by bounded channels, striped per-variable state locks.
 type Engine = dataplane.Engine
 
-// EngineOptions configures an Engine (workers, admission window, striping).
+// EngineOptions configures an Engine (workers, admission window, striping,
+// and the StateReplication execution mode).
 type EngineOptions = dataplane.Options
 
 // Ingress is one packet entering the network at an OBS port.
@@ -66,6 +67,23 @@ type PlaneStats = dataplane.Stats
 
 // SwitchLoad is one switch's share of the engine's work.
 type SwitchLoad = dataplane.SwitchLoad
+
+// ExecMode identifies the engine's concurrency discipline for a plane
+// epoch: striped locks, or state-compute replication (per-worker state
+// replicas converging through update logs; see EngineOptions.
+// StateReplication and Engine.ExecMode).
+type ExecMode = dataplane.ExecMode
+
+// Engine execution modes.
+const (
+	ModeLocks       = dataplane.ModeLocks
+	ModeReplication = dataplane.ModeReplication
+)
+
+// VarContention is one state variable's share of lock contention
+// (Engine.LockContention): the observable "which variable is hot" signal
+// for choosing sharding or the replication execution mode.
+type VarContention = dataplane.VarContention
 
 // StateRewrite transforms the global state during Engine.ApplyConfig
 // (e.g. folding shard variables); nil migrates entries unchanged.
@@ -194,6 +212,14 @@ func (d *Deployment) Times() PhaseTimes { return d.comp.Times }
 // GlobalState unions the per-switch state tables into the one-big-switch
 // view.
 func (d *Deployment) GlobalState() *Store { return d.plane.GlobalState() }
+
+// LinkDiagnostics returns the link-time diagnostics of the deployment's
+// compiled programs: advisories for conditions that silently change cost,
+// chiefly state-index tuples wider than the inline vector forcing the
+// interpreter fallback (snapsim -v surfaces these).
+func (d *Deployment) LinkDiagnostics() []string {
+	return dataplane.LinkDiagnostics(d.comp.Config)
+}
 
 // XFDD renders the program's intermediate representation (Figure 3).
 func (d *Deployment) XFDD() string { return d.comp.Diagram.String() }

@@ -98,10 +98,31 @@ func ReplayIngress(pairs [][2]int) []dataplane.Ingress {
 	return out
 }
 
-// Throughput runs the sweep: for sharding off/on, replay the same
-// gravity-model trace through engines with 1, 4 and GOMAXPROCS workers
-// and report packets/sec. Scale picks the trace length.
+// Throughput runs the sweep at the host's GOMAXPROCS: for sharding
+// off/on, replay the same gravity-model trace through engines with 1, 4
+// and GOMAXPROCS workers and report packets/sec. Scale picks the trace
+// length.
 func Throughput(s Scale) ([]ThroughputRow, error) {
+	return ThroughputCPUs(s, 0)
+}
+
+// ThroughputCPUs is the sweep with the core count made explicit: each
+// (sharded, workers) cell is measured twice, pinned to GOMAXPROCS=1 and to
+// GOMAXPROCS=cpus (0 means the host default), so the report always carries
+// a core-starved baseline next to the parallel rows — on a multi-core host
+// the pair separates engine scaling from scheduler luck, on a single-core
+// host the two collapse and say so. GOMAXPROCS is restored on return.
+func ThroughputCPUs(s Scale, cpus int) ([]ThroughputRow, error) {
+	if cpus <= 0 {
+		cpus = runtime.GOMAXPROCS(0)
+	}
+	cpuList := []int{1}
+	if cpus != 1 {
+		cpuList = append(cpuList, cpus)
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
 	t := topo.Campus(s.Capacity)
 	tm := traffic.Gravity(t, s.Traffic, 1)
 	n := 4000
@@ -120,37 +141,40 @@ func Throughput(s Scale) ([]ThroughputRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		var base float64
-		for _, w := range ThroughputWorkers() {
-			eng := dataplane.NewEngine(comp.Config, dataplane.Options{
-				Workers:       w,
-				SwitchWorkers: 2,
-				Window:        256,
-			})
-			start := time.Now()
-			err := eng.InjectReplay(batch)
-			elapsed := time.Since(start)
-			st := eng.Stats()
-			eng.Close()
-			if err != nil {
-				return nil, fmt.Errorf("throughput sharded=%v workers=%d: %w", sharded, w, err)
+		for _, cpu := range cpuList {
+			runtime.GOMAXPROCS(cpu)
+			var base float64
+			for _, w := range ThroughputWorkers() {
+				eng := dataplane.NewEngine(comp.Config, dataplane.Options{
+					Workers:       w,
+					SwitchWorkers: 2,
+					Window:        256,
+				})
+				start := time.Now()
+				err := eng.InjectReplay(batch)
+				elapsed := time.Since(start)
+				st := eng.Stats()
+				eng.Close()
+				if err != nil {
+					return nil, fmt.Errorf("throughput sharded=%v workers=%d: %w", sharded, w, err)
+				}
+				pps := float64(n) / elapsed.Seconds()
+				if w == 1 {
+					base = pps
+				}
+				rows = append(rows, ThroughputRow{
+					Sharded:    sharded,
+					Workers:    w,
+					GOMAXPROCS: cpu,
+					Packets:    n,
+					Elapsed:    elapsed,
+					PPS:        pps,
+					Speedup:    pps / base,
+					Suspends:   st.Suspends,
+					Hops:       st.Hops,
+					Delivered:  st.Delivered,
+				})
 			}
-			pps := float64(n) / elapsed.Seconds()
-			if w == 1 {
-				base = pps
-			}
-			rows = append(rows, ThroughputRow{
-				Sharded:    sharded,
-				Workers:    w,
-				GOMAXPROCS: runtime.GOMAXPROCS(0),
-				Packets:    n,
-				Elapsed:    elapsed,
-				PPS:        pps,
-				Speedup:    pps / base,
-				Suspends:   st.Suspends,
-				Hops:       st.Hops,
-				Delivered:  st.Delivered,
-			})
 		}
 	}
 	return rows, nil
@@ -159,15 +183,19 @@ func Throughput(s Scale) ([]ThroughputRow, error) {
 // FormatThroughput renders the sweep.
 func FormatThroughput(rows []ThroughputRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %8s %9s %12s %10s %9s %9s\n",
-		"Sharded", "Workers", "Packets", "PPS", "Speedup", "Suspends", "Hops")
+	fmt.Fprintf(&b, "%-8s %11s %8s %9s %12s %10s %9s %9s\n",
+		"Sharded", "GOMAXPROCS", "Workers", "Packets", "PPS", "Speedup", "Suspends", "Hops")
+	maxProcs := 0
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8v %8d %9d %12.0f %9.2fx %9d %9d\n",
-			r.Sharded, r.Workers, r.Packets, r.PPS, r.Speedup, r.Suspends, r.Hops)
+		fmt.Fprintf(&b, "%-8v %11d %8d %9d %12.0f %9.2fx %9d %9d\n",
+			r.Sharded, r.GOMAXPROCS, r.Workers, r.Packets, r.PPS, r.Speedup, r.Suspends, r.Hops)
+		if r.GOMAXPROCS > maxProcs {
+			maxProcs = r.GOMAXPROCS
+		}
 	}
-	if len(rows) > 0 && rows[0].GOMAXPROCS < 4 {
+	if len(rows) > 0 && maxProcs < 4 {
 		fmt.Fprintf(&b, "note: GOMAXPROCS=%d — the worker sweep needs >=4 cores to measure parallel speedup\n",
-			rows[0].GOMAXPROCS)
+			maxProcs)
 	}
 	return b.String()
 }

@@ -39,6 +39,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"snap/internal/netasm"
 	"snap/internal/pkt"
@@ -86,6 +87,18 @@ type Options struct {
 	// pumps them. It makes replica lag deterministic and exists for tests
 	// of the bounded-loss accounting; leave false in production.
 	ManualReplication bool
+	// StateReplication requests the state-compute replication discipline
+	// (scr.go): per-worker state replicas and update-log merge instead of
+	// striped locks. The request is honored per plane, at link time — a
+	// plane that classifies replication-unsafe (wide-index writes, mixed
+	// set/delta variables, mirror replicas in the configuration) falls
+	// back to locks, with the reasons available from
+	// Engine.ReplicationFallback.
+	StateReplication bool
+	// ReplicationRing overrides the capacity of each worker-pair update
+	// ring (0 → 1024). Small values force publish backpressure and exist
+	// for tests; leave 0 in production.
+	ReplicationRing int
 }
 
 func (o Options) withDefaults(cfg *rules.Config) Options {
@@ -100,6 +113,9 @@ func (o Options) withDefaults(cfg *rules.Config) Options {
 	}
 	if o.MaxHops <= 0 {
 		o.MaxHops = 16 * (cfg.Topo.Switches + 2)
+	}
+	if o.ReplicationRing <= 0 {
+		o.ReplicationRing = 1024
 	}
 	return o
 }
@@ -240,6 +256,37 @@ type plane struct {
 	placed []bool
 	// maxFork is the widest multicast fork over all linked programs.
 	maxFork int
+
+	// mode is the concurrency discipline this plane runs (scr.go); scr is
+	// its worker set, nil under ModeLocks. diags are the plane's link-time
+	// diagnostics; repFallback records why a requested replication mode was
+	// refused (empty otherwise).
+	mode        ExecMode
+	scr         *scrState
+	diags       []string
+	repFallback []string
+
+	// Per-variable lock-contention attribution (ModeLocks only): a visit
+	// whose TryLock fails charges the blocked acquisition and its wait to
+	// every variable of the switch's lock set — stripe granularity cannot
+	// split blame within a set, but placement keeps sets small and
+	// disjoint. Indexed by VarSpace id; lockVars is switch → owned var ids.
+	lockSusp []atomic.Int64
+	lockWait []atomic.Int64
+	lockVars map[topo.NodeID][]int32
+}
+
+// seedVar re-seats one variable's entries on its owner switch — on every
+// worker's replica of it under replication mode, so all copies start the
+// epoch converged.
+func (pl *plane) seedVar(global *state.Store, v string, owner topo.NodeID) {
+	if pl.scr != nil {
+		for _, wk := range pl.scr.workers {
+			wk.switches[owner].SeedVar(global, v)
+		}
+		return
+	}
+	pl.switches[owner].SeedVar(global, v)
 }
 
 // stateTarget resolves the switch a suspended packet must reach, by dense
@@ -292,6 +339,12 @@ type Engine struct {
 	// same switch (mirroring the per-switch load counters).
 	obs map[topo.NodeID]*obsShard
 
+	// Lock-contention history carried across plane epochs: apply() folds
+	// the outgoing plane's per-variable counters in here so
+	// LockContention survives reconfiguration.
+	contMu   sync.Mutex
+	contHist map[string]VarContention
+
 	gate   *gate
 	quit   chan struct{}  // closed by Close; releases straggler sends
 	sendWg sync.WaitGroup // fallback-send goroutines
@@ -330,10 +383,15 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 		down:    make([]atomic.Bool, cfg.Topo.Switches),
 		gate:    newGate(),
 		quit:    make(chan struct{}),
+
+		contHist: map[string]VarContention{},
 	}
 	e.rep = newReplicator(e, cfg)
 	pl := e.buildPlane(cfg, e.rep)
 	e.plane.Store(pl)
+	if pl.scr != nil {
+		pl.scr.start()
+	}
 	e.rep.start()
 	// In-flight copies never exceed Window × maxFork (multicast forks
 	// once, at the xFDD leaf dispatch), so inboxes of this capacity make
@@ -364,26 +422,20 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 	return e
 }
 
-// buildPlane instantiates switch VMs and lock sets for a configuration,
-// linking each program once against the configuration's variable space and
-// drawing locks from the engine's stripe pool so successive plane epochs
-// keep a consistent variable→stripe mapping.
+// buildPlane instantiates switch VMs for a configuration, linking each
+// program once against the configuration's variable space and selecting
+// the concurrency discipline: when Options.StateReplication is set and the
+// plane classifies replication-safe, per-worker state replicas connected
+// by update rings (scr.go); otherwise one VM set guarded by lock sets
+// drawn from the engine's stripe pool, so successive plane epochs keep a
+// consistent variable→stripe mapping. Replication workers are NOT started
+// here — the caller starts them once the plane is committed.
 func (e *Engine) buildPlane(cfg *rules.Config, rep *replicator) *plane {
-	p := &plane{
-		cfg:      cfg,
-		switches: make(map[topo.NodeID]*netasm.Switch, len(cfg.Switches)),
-		locks:    make(map[topo.NodeID]state.LockSet, len(cfg.Switches)),
-		maxFork:  1,
-	}
+	p := &plane{cfg: cfg, maxFork: 1}
 	linked := linkPrograms(cfg)
-	for id, sc := range cfg.Switches {
-		sw := netasm.NewLinkedSwitch(int(id), linked[id])
-		if hook := rep.hookFor(id, sc.Owns); hook != nil {
-			sw.OnStateWrite = hook
-		}
-		p.switches[id] = sw
-		p.locks[id] = e.stripes.LockSet(sw.LockVars())
-		if f := sw.MaxFork(); f > p.maxFork {
+	p.diags = collectDiags(linked)
+	for _, lp := range linked {
+		if f := lp.MaxFork(); f > p.maxFork {
 			p.maxFork = f
 		}
 	}
@@ -394,6 +446,38 @@ func (e *Engine) buildPlane(cfg *rules.Config, rep *replicator) *plane {
 		if node, ok := cfg.Placement[vs.Name(i)]; ok {
 			p.owners[i] = node
 			p.placed[i] = true
+		}
+	}
+	if e.opts.StateReplication {
+		if reasons := replicationBlockers(cfg, linked, e.opts.Workers); len(reasons) == 0 {
+			p.mode = ModeReplication
+			p.scr = e.buildSCR(cfg, linked)
+			// Worker 0's replica doubles as the canonical switch set the
+			// control plane reads (always through reconcile, under the gate).
+			p.switches = p.scr.workers[0].switches
+			p.locks = make(map[topo.NodeID]state.LockSet, len(cfg.Switches))
+			return p
+		} else {
+			p.repFallback = reasons
+			p.diags = append(p.diags, "state replication requested but refused: "+strings.Join(reasons, " | "))
+		}
+	}
+	p.switches = make(map[topo.NodeID]*netasm.Switch, len(cfg.Switches))
+	p.locks = make(map[topo.NodeID]state.LockSet, len(cfg.Switches))
+	p.lockSusp = make([]atomic.Int64, vs.Len())
+	p.lockWait = make([]atomic.Int64, vs.Len())
+	p.lockVars = make(map[topo.NodeID][]int32, len(cfg.Switches))
+	for id, sc := range cfg.Switches {
+		sw := netasm.NewLinkedSwitch(int(id), linked[id])
+		if hook := rep.hookFor(id, sc.Owns); hook != nil {
+			sw.OnStateWrite = hook
+		}
+		p.switches[id] = sw
+		p.locks[id] = e.stripes.LockSet(sw.LockVars())
+		for _, v := range sw.LockVars() {
+			if vid := vs.ID(v); vid >= 0 {
+				p.lockVars[id] = append(p.lockVars[id], int32(vid))
+			}
 		}
 	}
 	return p
@@ -417,6 +501,9 @@ func (e *Engine) Close() {
 		close(ch)
 	}
 	e.wg.Wait()
+	if pl := e.plane.Load(); pl.scr != nil {
+		pl.scr.stop()
+	}
 	e.replicator().stop()
 }
 
@@ -510,7 +597,20 @@ func (e *Engine) step(at topo.NodeID, it item, sc *stepScratch) {
 		sw := pl.switches[at]
 		ls := pl.locks[at]
 		if !ls.Empty() {
-			ls.Lock()
+			// Count contended acquisitions per variable: the uncontended
+			// path is a TryLock (one CAS per stripe, same as Lock); only a
+			// blocked visit pays for the clock reads and counter updates.
+			if !ls.TryLock() {
+				t0 := time.Now()
+				ls.Lock()
+				wait := int64(time.Since(t0))
+				e.stats.lockSuspends.Add(1)
+				e.stats.lockWaitNs.Add(wait)
+				for _, vid := range pl.lockVars[at] {
+					pl.lockSusp[vid].Add(1)
+					pl.lockWait[vid].Add(wait)
+				}
+			}
 		}
 		e.slots <- struct{}{}
 		results, err := sw.RunAppend(sc.results[:0], it.sp)
@@ -661,9 +761,14 @@ func (e *Engine) inject(ing Ingress, collect bool, wg *sync.WaitGroup, sc *stepS
 		},
 	}
 	wg.Add(1)
-	if sc != nil {
+	switch {
+	case pl.scr != nil:
+		// Replication discipline: the whole injection runs on one worker's
+		// private replica set (scr.go); the per-switch inboxes stay idle.
+		pl.scr.dispatch(hop{to: pt.Switch, it: item{sp: sp, inj: inj}})
+	case sc != nil:
 		e.step(pt.Switch, item{sp: sp, inj: inj}, sc)
-	} else {
+	default:
 		e.send(pt.Switch, item{sp: sp, inj: inj})
 	}
 	return inj, nil
@@ -852,6 +957,11 @@ func (e *Engine) apply(cfg *rules.Config, rewrite StateRewrite, degraded bool) (
 
 	fs := &FailoverStats{Promoted: map[string]topo.NodeID{}}
 	old := e.plane.Load()
+	// Under the replication discipline, drain the update rings so worker
+	// 0's replica (old.switches) is the converged canonical state, and
+	// bank the outgoing plane's contention counters.
+	e.reconcile(old)
+	e.foldContention(old)
 	global := e.unionUpState(old.switches)
 	if degraded {
 		e.recoverOrphans(old, cfg, global, fs)
@@ -878,7 +988,7 @@ func (e *Engine) apply(cfg *rules.Config, rewrite StateRewrite, degraded bool) (
 		if !cfg.Topo.Up(owner) {
 			return nil, fmt.Errorf("dataplane: state variable %s placed on down switch %d", v, owner)
 		}
-		next.switches[owner].SeedVar(global, v)
+		next.seedVar(global, v, owner)
 	}
 	e.plane.Store(next)
 	e.epoch.Add(1)
@@ -886,6 +996,12 @@ func (e *Engine) apply(cfg *rules.Config, rewrite StateRewrite, degraded bool) (
 	oldRep := e.rep
 	e.rep = newRep
 	e.repMu.Unlock()
+	if old.scr != nil {
+		old.scr.stop()
+	}
+	if next.scr != nil {
+		next.scr.start()
+	}
 	oldRep.stop()
 	newRep.start()
 	fs.LostWrites = e.repLost.Load()
@@ -1115,7 +1231,9 @@ func (e *Engine) Load() map[topo.NodeID]SwitchLoad {
 func (e *Engine) GlobalState() *state.Store {
 	e.gate.pause()
 	defer e.gate.resume()
-	return e.unionUpState(e.plane.Load().switches)
+	pl := e.plane.Load()
+	e.reconcile(pl)
+	return e.unionUpState(pl.switches)
 }
 
 // SwitchTable snapshots one switch's tables (tests and diagnostics),
@@ -1125,5 +1243,7 @@ func (e *Engine) GlobalState() *state.Store {
 func (e *Engine) SwitchTable(id topo.NodeID) *state.Store {
 	e.gate.pause()
 	defer e.gate.resume()
-	return switchTable(e.plane.Load().switches, id)
+	pl := e.plane.Load()
+	e.reconcile(pl)
+	return switchTable(pl.switches, id)
 }

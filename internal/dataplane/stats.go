@@ -13,24 +13,35 @@ type Stats struct {
 	Dropped   int64 // copies discarded (policy drop or dead outport)
 	Hops      int64 // inter-switch forwarding steps
 	Suspends  int64 // evaluations suspended for remote state
+
+	// Lock-discipline contention (always zero under ModeReplication —
+	// that is the discipline's point): visits whose stripe acquisition
+	// blocked, and the cumulative nanoseconds they waited. Per-variable
+	// attribution is available from Engine.LockContention.
+	LockSuspends int64
+	LockWaitNs   int64
 }
 
 // counters is the live, atomically-updated form of Stats.
 type counters struct {
-	injected  atomic.Int64
-	delivered atomic.Int64
-	dropped   atomic.Int64
-	hops      atomic.Int64
-	suspends  atomic.Int64
+	injected     atomic.Int64
+	delivered    atomic.Int64
+	dropped      atomic.Int64
+	hops         atomic.Int64
+	suspends     atomic.Int64
+	lockSuspends atomic.Int64
+	lockWaitNs   atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Injected:  c.injected.Load(),
-		Delivered: c.delivered.Load(),
-		Dropped:   c.dropped.Load(),
-		Hops:      c.hops.Load(),
-		Suspends:  c.suspends.Load(),
+		Injected:     c.injected.Load(),
+		Delivered:    c.delivered.Load(),
+		Dropped:      c.dropped.Load(),
+		Hops:         c.hops.Load(),
+		Suspends:     c.suspends.Load(),
+		LockSuspends: c.lockSuspends.Load(),
+		LockWaitNs:   c.lockWaitNs.Load(),
 	}
 }
 
@@ -54,5 +65,63 @@ func (c *switchCounters) snapshot() SwitchLoad {
 		Processed: c.processed.Load(),
 		Suspends:  c.suspends.Load(),
 		Forwarded: c.forwarded.Load(),
+	}
+}
+
+// VarContention is one state variable's share of lock contention: how many
+// blocked stripe acquisitions its lock set was charged with, and their
+// cumulative wait. This is the observable "which variable is hot" signal —
+// the variable(s) worth sharding (shard.Plan) or running under the
+// replication discipline.
+type VarContention struct {
+	Suspends int64
+	WaitNs   int64
+}
+
+// LockContention reports per-variable lock contention accumulated over the
+// engine's lifetime: the live plane's counters plus the history folded in
+// at each reconfiguration. Stripe granularity charges a blocked visit to
+// every variable of the switch's lock set; placement keeps those sets
+// small, so attribution is tight in practice.
+func (e *Engine) LockContention() map[string]VarContention {
+	out := map[string]VarContention{}
+	e.contMu.Lock()
+	for v, c := range e.contHist {
+		out[v] = c
+	}
+	e.contMu.Unlock()
+	pl := e.plane.Load()
+	vs := pl.cfg.VarSpace()
+	for id := range pl.lockSusp {
+		s, w := pl.lockSusp[id].Load(), pl.lockWait[id].Load()
+		if s == 0 && w == 0 {
+			continue
+		}
+		c := out[vs.Name(id)]
+		c.Suspends += s
+		c.WaitNs += w
+		out[vs.Name(id)] = c
+	}
+	return out
+}
+
+// foldContention banks a retiring plane's per-variable contention counters
+// into the engine-lifetime history (called under the gate during apply).
+func (e *Engine) foldContention(pl *plane) {
+	if len(pl.lockSusp) == 0 {
+		return
+	}
+	vs := pl.cfg.VarSpace()
+	e.contMu.Lock()
+	defer e.contMu.Unlock()
+	for id := range pl.lockSusp {
+		s, w := pl.lockSusp[id].Load(), pl.lockWait[id].Load()
+		if s == 0 && w == 0 {
+			continue
+		}
+		c := e.contHist[vs.Name(id)]
+		c.Suspends += s
+		c.WaitNs += w
+		e.contHist[vs.Name(id)] = c
 	}
 }

@@ -27,6 +27,7 @@
 package netasm
 
 import (
+	"fmt"
 	"sort"
 
 	"snap/internal/pkt"
@@ -168,6 +169,16 @@ type linstr struct {
 	resume  int32
 }
 
+// Write-act mask bits for Linked.WriteActs: which kinds of state update a
+// program performs on a variable. A variable carrying both bits mixes
+// value-assignment with delta updates, which no merge discipline can
+// reconcile without a shared order — the state-replication engine mode
+// refuses such planes.
+const (
+	WActSet   uint8 = 1 << iota // s[idx] ← e
+	WActDelta                   // s[idx]++ / s[idx]--
+)
+
 // Linked is an executable program: the link-time image of a Program for
 // one ownership set and one variable space. It is immutable and shared
 // between every switch with the same program (rules already shares the
@@ -184,7 +195,34 @@ type Linked struct {
 	locals  []string       // local table id → variable name, sorted
 	localID map[string]int // inverse of locals, shared by every switch
 	maxFor  int
+
+	// Link-time facts consumed by the engine's execution-mode selection
+	// (see Diagnostics, WriteActs, ReplicationBlockers).
+	diags     []string
+	writeActs map[string]uint8
+	repBlocks []string
 }
+
+// Diagnostics returns link-time advisories: conditions that do not change
+// semantics but silently change cost, chiefly index tuples wider than
+// values.MaxVec forcing the interpreter fallback. Each condition is
+// reported once per program.
+func (lp *Linked) Diagnostics() []string { return lp.diags }
+
+// WriteActs maps each state variable this program writes (locally or via a
+// pending write resolved elsewhere) to the union of write kinds performed
+// on it, as WAct bits.
+func (lp *Linked) WriteActs() map[string]uint8 { return lp.writeActs }
+
+// ReplicationBlockers lists why this program is unsafe for the
+// state-compute replication discipline, empty when it is safe: every state
+// write must be a function of packet fields and the entry's own prior
+// value, expressible in the compact update log (inline index vector,
+// scalar const/field value). The analysis reuses the extractor flattening
+// Link already performed — an instruction that kept its syntax.Expr form
+// (wide index, non-scalar value) is by construction outside the log's
+// reach.
+func (lp *Linked) ReplicationBlockers() []string { return lp.repBlocks }
 
 // VarSpace returns the space the program was linked against.
 func (lp *Linked) VarSpace() *VarSpace { return lp.vs }
@@ -249,6 +287,8 @@ func Link(p *Program, vs *VarSpace, owns map[string]bool) *Linked {
 	}
 
 	lp.ins = make([]linstr, len(p.Instrs))
+	wideIdx := 0 // instructions on the interpreter slow path
+	firstWide := ""
 	for pc, ins := range p.Instrs {
 		li := linstr{
 			op:     ins.Op,
@@ -303,9 +343,52 @@ func Link(p *Program, vs *VarSpace, owns map[string]bool) *Linked {
 				lp.maxFor = len(ins.Seqs)
 			}
 		}
+		if li.slowIdx != nil {
+			wideIdx++
+			if firstWide == "" {
+				firstWide = fmt.Sprintf("pc %d, variable %s", pc, ins.Var)
+			}
+		}
+		switch ins.Op {
+		case OpStateWrite, OpResolve:
+			mask := WActDelta
+			if ins.Act == xfdd.ActSet {
+				mask = WActSet
+			}
+			if lp.writeActs == nil {
+				lp.writeActs = make(map[string]uint8)
+			}
+			lp.writeActs[ins.Var] |= mask
+			if li.slowIdx != nil {
+				lp.block("pc %d: write to %s indexes by a tuple wider than %d values", pc, ins.Var, values.MaxVec)
+			}
+			if li.valMode == valSlow {
+				lp.block("pc %d: write to %s carries a non-scalar value expression", pc, ins.Var)
+			}
+			if li.varID < 0 {
+				lp.block("pc %d: variable %s is unknown to the plane's variable space", pc, ins.Var)
+			}
+			if ins.Op == OpStateWrite && !owns[ins.Var] {
+				lp.block("pc %d: local write to unowned variable %s", pc, ins.Var)
+			}
+		case OpBranchState:
+			if !owns[ins.Var] {
+				lp.block("pc %d: local read of unowned variable %s", pc, ins.Var)
+			}
+		}
 		lp.ins[pc] = li
 	}
+	if wideIdx > 0 {
+		lp.diags = append(lp.diags, fmt.Sprintf(
+			"%d state instruction(s) index by tuples wider than %d values and take the interpreter slow path (first at %s)",
+			wideIdx, values.MaxVec, firstWide))
+	}
 	return lp
+}
+
+// block records one replication-safety violation.
+func (lp *Linked) block(format string, args ...any) {
+	lp.repBlocks = append(lp.repBlocks, fmt.Sprintf(format, args...))
 }
 
 // soloSpace builds a private variable space for a switch linked outside a

@@ -310,6 +310,16 @@ type Switch struct {
 	// index tuple it receives is the entry's retained first-insert tuple —
 	// observers must treat it as immutable.
 	OnStateWrite func(v string, idx values.Tuple, val values.Value)
+	// OnStateOp, when set, observes every fast-path state mutation as the
+	// *operation* that produced it: dense variable id, act, raw index
+	// vector and — for sets — the written value. Unlike OnStateWrite it
+	// never allocates (the index travels as the inline Vec, not the
+	// retained Tuple), which is what lets the state-replication engine mode
+	// build per-packet update logs on the hot path. It fires only for
+	// writes with an index of arity ≤ values.MaxVec and a variable known
+	// to the linked space; replication-mode planes are classified at link
+	// time (Linked.ReplicationBlockers) so neither exclusion occurs there.
+	OnStateOp func(varID int32, act xfdd.ActKind, idx values.Vec, val values.Value)
 
 	lp     *Linked
 	tables []state.Table
@@ -389,6 +399,21 @@ func (sw *Switch) table(v string) *state.Table {
 	sw.extraID[v] = id
 	sw.extraNames = append(sw.extraNames, v)
 	return &sw.tables[id]
+}
+
+// TableRef returns a pointer to v's dense local table, false when the
+// switch has no table for it. The pointer stays valid as long as no
+// variable unknown to the switch is introduced afterwards (StateSet or
+// SeedVar of a new name grows the table slice): the state-replication
+// engine mode binds replica apply targets through it, and such planes only
+// ever seed placed variables — which the link step guarantees are among
+// the linked locals — so the slice never grows under them.
+func (sw *Switch) TableRef(v string) (*state.Table, bool) {
+	id, ok := sw.tableID(v)
+	if !ok {
+		return nil, false
+	}
+	return &sw.tables[id], true
 }
 
 // StateGet reads v[idx] from the local tables (Default when absent).
@@ -508,6 +533,9 @@ func (sw *Switch) commitLocal(sp *SimPacket) {
 			case xfdd.ActDecr:
 				idx, val = tbl.Add(k, w.Idx, -1)
 			}
+			if sw.OnStateOp != nil && w.VarID >= 0 {
+				sw.OnStateOp(w.VarID, w.Act, w.Idx, val)
+			}
 		}
 		if sw.OnStateWrite != nil {
 			sw.OnStateWrite(w.Var, idx, val)
@@ -617,6 +645,9 @@ func (sw *Switch) exec(dst []Result, sp SimPacket, pc int) ([]Result, error) {
 					idx, val = tbl.Add(k, raw, 1)
 				case xfdd.ActDecr:
 					idx, val = tbl.Add(k, raw, -1)
+				}
+				if sw.OnStateOp != nil && li.varID >= 0 {
+					sw.OnStateOp(li.varID, li.act, raw, val)
 				}
 			} else {
 				wide := evalIdx(li.slowIdx, sp.Pkt)

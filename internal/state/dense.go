@@ -181,6 +181,31 @@ func (t *Table) AddTuple(idx values.Tuple, delta int64) (values.Tuple, values.Va
 	return t.AddWide(idx, delta)
 }
 
+// Equal reports whether two tables hold semantically equal bindings: the
+// same keys mapping to Eq-equal values. Retained raw index tuples are not
+// compared — two tables first written with False and 0 at the same key are
+// equal, exactly as their string-keyed Store dumps would be. This is the
+// convergence audit of the replication discipline: after all update logs
+// drain, every worker replica must be Equal to every other.
+func (t *Table) Equal(o *Table) bool {
+	if len(t.m) != len(o.m) || len(t.wide) != len(o.wide) {
+		return false
+	}
+	for k, e := range t.m {
+		oe, ok := o.m[k]
+		if !ok || !values.Eq(e.Val, oe.Val) {
+			return false
+		}
+	}
+	for k, e := range t.wide {
+		oe, ok := o.wide[k]
+		if !ok || !values.Eq(e.Val, oe.Val) {
+			return false
+		}
+	}
+	return true
+}
+
 // Entries returns the table's bindings sorted by canonical index key,
 // matching Store.Entries order.
 func (t *Table) Entries() []Entry {

@@ -1,0 +1,127 @@
+// The update log of the state-compute replication discipline (after
+// "State-Compute Replication", arXiv 2309.14647). Instead of sharing one
+// table behind a lock, every worker keeps a private Replica of all state
+// tables and appends each of its writes to a compact log that the engine
+// ships to the other workers; each replica re-executes the logged
+// operations against its own copy, so the hot path never takes a
+// cross-core lock and replicas converge deterministically:
+//
+//   - increments and decrements commute, so they are replayed verbatim on
+//     every replica — any application order yields the same sums, exactly
+//     the paper's commutative-update class;
+//   - value assignments (s[idx] ← e) do not commute, so each carries a
+//     Lamport-style tag (logical clock in the high bits, worker id in the
+//     low bits — a total order) and replicas keep last-writer-wins per
+//     (variable, key). Applying a remote update advances the local clock
+//     past its tag before the next local write is stamped, so the tag
+//     order extends the causal order: once all logs are applied, every
+//     replica holds the value of the globally largest tag.
+//
+// The log is deliberately restricted to operations expressible without
+// allocation — inline index vector, scalar value — and the link step
+// classifies exactly which programs stay inside that fragment
+// (netasm.Linked.ReplicationBlockers); programs outside it run under the
+// lock discipline instead.
+package state
+
+import "snap/internal/values"
+
+// UpdateAct is the operation kind of one logged write.
+type UpdateAct uint8
+
+const (
+	UpdateSet  UpdateAct = iota // assign Val (last-writer-wins by Tag)
+	UpdateIncr                  // re-execute ++ (commutative)
+	UpdateDecr                  // re-execute -- (commutative)
+)
+
+// tagWorkerBits is the low-bit budget of a tag reserved for the worker id
+// that stamped it, making tags from different workers never collide.
+const tagWorkerBits = 16
+
+// MakeTag stamps a logical clock reading with a worker id into one
+// totally-ordered tag.
+func MakeTag(clock uint64, worker int) uint64 {
+	return clock<<tagWorkerBits | uint64(worker)&(1<<tagWorkerBits-1)
+}
+
+// TagClock recovers the logical-clock component of a tag.
+func TagClock(tag uint64) uint64 { return tag >> tagWorkerBits }
+
+// Update is one logged state write: the operation, not its effect, so
+// commutative deltas merge by re-execution. It is a value type sized for
+// ring-buffer transport — no pointers beyond those inside the values.
+type Update struct {
+	VarID int32
+	Act   UpdateAct
+	Tag   uint64 // UpdateSet only: the writer's Lamport tag
+	Idx   values.Vec
+	Val   values.Value // UpdateSet only
+}
+
+// Replica is one worker's private copy of a plane's state, bound to the
+// dense tables of that worker's switch VMs by variable id. It tracks, per
+// (variable, key), the largest set-tag applied so far — local writes are
+// already in the tables when recorded, so Apply only ever filters remote
+// sets that lost the last-writer race.
+type Replica struct {
+	tables []*Table
+	tags   []map[Key]uint64
+}
+
+// NewReplica sizes a replica for a variable space of n ids.
+func NewReplica(n int) *Replica {
+	return &Replica{
+		tables: make([]*Table, n),
+		tags:   make([]map[Key]uint64, n),
+	}
+}
+
+// Bind points variable id at its local table. Unbound ids ignore updates
+// (they belong to no placed variable and can carry no entries).
+func (r *Replica) Bind(id int, t *Table) {
+	if id >= 0 && id < len(r.tables) {
+		r.tables[id] = t
+	}
+}
+
+// RecordLocal notes a set this worker just performed directly on its
+// tables, so later remote sets with smaller tags cannot overwrite it.
+func (r *Replica) RecordLocal(varID int32, k Key, tag uint64) {
+	m := r.tags[varID]
+	if m == nil {
+		m = make(map[Key]uint64)
+		r.tags[varID] = m
+	}
+	m[k] = tag
+}
+
+// Apply replays one remote update against the replica: deltas re-execute
+// unconditionally, sets apply only when their tag beats the largest tag
+// this replica has seen for the key.
+func (r *Replica) Apply(u Update) {
+	if int(u.VarID) >= len(r.tables) || u.VarID < 0 {
+		return
+	}
+	tbl := r.tables[u.VarID]
+	if tbl == nil {
+		return
+	}
+	k := KeyOf(u.Idx)
+	switch u.Act {
+	case UpdateIncr:
+		tbl.Add(k, u.Idx, 1)
+	case UpdateDecr:
+		tbl.Add(k, u.Idx, -1)
+	case UpdateSet:
+		m := r.tags[u.VarID]
+		if m == nil {
+			m = make(map[Key]uint64)
+			r.tags[u.VarID] = m
+		}
+		if u.Tag > m[k] {
+			m[k] = u.Tag
+			tbl.Set(k, u.Idx, u.Val)
+		}
+	}
+}

@@ -73,6 +73,23 @@ func (ls LockSet) Lock() {
 	}
 }
 
+// TryLock attempts to acquire every stripe without blocking. On the first
+// unavailable stripe it backs out, releasing what it took, and returns
+// false holding nothing. The engine uses it to count contended
+// acquisitions (a failed TryLock followed by a timed Lock) without
+// perturbing the uncontended fast path.
+func (ls LockSet) TryLock() bool {
+	for n, i := range ls.idx {
+		if !ls.s.mu[i].TryLock() {
+			for j := n - 1; j >= 0; j-- {
+				ls.s.mu[ls.idx[j]].Unlock()
+			}
+			return false
+		}
+	}
+	return true
+}
+
 // Unlock releases the stripes in reverse order.
 func (ls LockSet) Unlock() {
 	for j := len(ls.idx) - 1; j >= 0; j-- {
