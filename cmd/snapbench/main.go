@@ -34,7 +34,7 @@ type report struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|throughput|scale|hotpath|reconfig|failover|all")
+	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|throughput|scale|hotpath|reconfig|failover|chaos|all")
 	scaleName := flag.String("scale", "ci", "scale preset: ci|full")
 	cpu := flag.Int("cpu", 0, "GOMAXPROCS for the throughput and scale experiments (0 = host default); 1-core rows are always emitted alongside")
 	jsonPath := flag.String("json", "", "also write the collected rows as JSON to this file (e.g. BENCH.json)")
@@ -139,6 +139,14 @@ func main() {
 			rep.Experiments[name] = rows
 			fmt.Printf("== Live reconfiguration: hot swap vs cold restart, campus monitor workload (scale=%s) ==\n%s\n",
 				scale.Name, bench.FormatReconfig(rows))
+		case "chaos":
+			rows, err := bench.Chaos(scale)
+			if err != nil {
+				return err
+			}
+			rep.Experiments[name] = rows
+			fmt.Printf("== Chaos soak: sustained throughput under churn + scheduled failures (scale=%s) ==\n%s\n",
+				scale.Name, bench.FormatChaos(rows))
 		case "failover":
 			rows, err := bench.Failover(scale)
 			if err != nil {
@@ -155,7 +163,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table3", "table4", "table5", "table6", "fig9", "fig10", "fig11", "throughput", "scale", "hotpath", "reconfig", "failover"}
+		names = []string{"table3", "table4", "table5", "table6", "fig9", "fig10", "fig11", "throughput", "scale", "hotpath", "reconfig", "failover", "chaos"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

@@ -48,6 +48,19 @@
 //
 //	snapsim -app port-monitor -kill auto -load 20000
 //	snapsim -app port-monitor -kill C3 -load 20000 -replicas 1   # baseline: state lost
+//
+// With -chaos it becomes the seeded soak harness (internal/chaos): a long
+// chunked replay over a Table 5 topology while a deterministic scheduler
+// injects policy edits, workload shifts, switch/link failures, failovers
+// and recoveries, continuously audited against packet-conservation,
+// state-accounting, and differential-oracle invariants. Runs are
+// reproducible byte-for-byte from their flags; the exit status is nonzero
+// when any invariant is violated:
+//
+//	snapsim -chaos -seed 7
+//	snapsim -chaos -seed 1 -short                   # the CI smoke configuration
+//	snapsim -chaos -seed 3 -topo campus -k 2        # replicated fault tolerance
+//	snapsim -chaos -seed 3 -replication             # state-compute replication plane
 package main
 
 import (
@@ -77,7 +90,30 @@ func main() {
 	drift := flag.Bool("drift", false, "shift the traffic matrix mid-replay and run the reconfiguration control loop")
 	kill := flag.String("kill", "", "kill this switch mid-replay and fail over (campus name like C3, s<id>, or 'auto' for the first state owner)")
 	replicas := flag.Int("replicas", 2, "state replication factor for the -kill demo (1 = none)")
+	chaosMode := flag.Bool("chaos", false, "run the seeded chaos soak (internal/chaos) instead of an app demo")
+	chaosTopo := flag.String("topo", "Stanford", "chaos soak topology: a Table 5 name or 'campus'")
+	chaosChunk := flag.Int("chunk", 0, "chaos soak chunk size in packets (0 = default)")
+	chaosK := flag.Int("k", 1, "chaos soak state replication factor")
+	chaosRepl := flag.Bool("replication", false, "chaos soak: request the state-compute replication discipline")
+	chaosShort := flag.Bool("short", false, "chaos soak: reduced-length smoke run (3000 packets, chunk 300)")
 	flag.Parse()
+
+	if *chaosMode {
+		// -packets doubles as the soak length, but its per-packet-mode
+		// default (300) is far too short for a soak: only an explicit
+		// -packets overrides the chaos default.
+		chaosPackets := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "packets" {
+				chaosPackets = *packets
+			}
+		})
+		runChaos(chaosOptions{
+			seed: *seed, topo: *chaosTopo, packets: chaosPackets, chunk: *chaosChunk,
+			k: *chaosK, replication: *chaosRepl, short: *chaosShort, workers: *workers,
+		})
+		return
+	}
 
 	a, ok := snap.AppByName(*appName)
 	if !ok {

@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"snap/internal/dataplane"
+	"snap/internal/rules"
+	"snap/internal/state"
+	"snap/internal/topo"
+	"snap/internal/values"
+)
+
+// triangle hand-builds the smallest network with routing choice: three
+// switches in a cycle, one OBS port each.
+func triangle() *topo.Topology {
+	var links []topo.Link
+	for _, e := range [][2]topo.NodeID{{0, 1}, {1, 2}, {0, 2}} {
+		links = append(links,
+			topo.Link{From: e[0], To: e[1], Capacity: 1000},
+			topo.Link{From: e[1], To: e[0], Capacity: 1000})
+	}
+	ports := []topo.Port{{ID: 1, Switch: 0}, {ID: 2, Switch: 1}, {ID: 3, Switch: 2}}
+	return topo.MustNew("triangle", 3, links, ports)
+}
+
+// TestOracleCatchesCorruption is the differential oracle's regression
+// test: on a hand-built 3-switch network, a mid-soak hook deliberately
+// corrupts one state entry through an ApplyConfig rewrite (the same
+// mechanism a buggy migration would misuse). The run must report an
+// oracle state mismatch — and an identical run without the corruption
+// must stay clean, so the detection is attributable to the tampering.
+func TestOracleCatchesCorruption(t *testing.T) {
+	base := Options{
+		Seed:     5,
+		Topology: "triangle",
+		Packets:  2000,
+		Chunk:    200,
+		Workers:  1,
+		net:      triangle(),
+	}
+
+	clean := mustRun(t, base)
+	requirePassed(t, clean)
+
+	tampered := base
+	tampered.corruptAt = 2 // a tracked, healthy boundary (failures start later)
+	tampered.corrupt = func(eng *dataplane.Engine, cfg *rules.Config) error {
+		return eng.ApplyConfig(cfg, func(st *state.Store) (*state.Store, error) {
+			out := st.Clone()
+			for _, v := range out.Vars() {
+				if es := out.Entries(v); len(es) > 0 {
+					out.Set(v, es[0].Idx, values.Int(es[0].Val.AsInt()+7))
+					return out, nil
+				}
+			}
+			return nil, fmt.Errorf("no state entries to corrupt")
+		})
+	}
+	rep := mustRun(t, tampered)
+
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "oracle state mismatch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("corrupted soak reported no oracle mismatch; violations: %v", rep.Violations)
+	}
+	// The corruption event itself must be on the timeline, after which the
+	// oracle resyncs and the rest of the soak audits clean — exactly one
+	// poisoned window.
+	var sawCorrupt bool
+	for _, e := range rep.Events {
+		if e.Kind == "corrupt" {
+			sawCorrupt = true
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("corrupt event missing from the timeline")
+	}
+	for _, v := range rep.Violations {
+		if !strings.Contains(v, "oracle state mismatch") {
+			t.Errorf("corruption caused a secondary violation: %s", v)
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"snap/internal/rules"
 	"snap/internal/shard"
 	"snap/internal/state"
+	"snap/internal/syntax"
 	"snap/internal/topo"
 	"snap/internal/traffic"
 	"snap/internal/values"
@@ -427,6 +428,122 @@ func (c *Controller) Failover(s fault.Scenario) (*FailoverReport, error) {
 		Compile:     next.Times.Total(),
 		Times:       next.Times,
 		Swap:        swap,
+	}, nil
+}
+
+// RestoreReport records one completed controller-driven recovery.
+type RestoreReport struct {
+	// Scenario is the failure being recovered.
+	Scenario fault.Scenario
+	// Epoch is the engine epoch after the recovery swap.
+	Epoch int64
+	// Plan is the migration diff old→new placement (the new solve may move
+	// state back onto the revived switches).
+	Plan Plan
+	// RestoredPorts are the external ports that came back with their switch.
+	RestoredPorts []int
+	// Compile is the restored-topology recompilation time (P3–P6); Swap the
+	// Engine.Recover drain-reseat-publish latency.
+	Compile time.Duration
+	Times   core.PhaseTimes
+	Swap    time.Duration
+}
+
+// Restore is Failover's inverse: the scenario's failed switches and links
+// come back into service. The restored topology is re-derived from the
+// pristine graph with the remaining failures still applied
+// (topo.Recover — so recovering the last failure restores the original
+// topology exactly), placement and routing recompile on it with the given
+// demand matrix (nil = the current reference) restricted to its ports, and
+// Engine.Recover installs the result, clearing the failure flags at the
+// epoch-swap commit point. Revived switches return with empty state tables
+// — their memory died with the failure; whatever a failover promoted to
+// surviving owners migrates per the new placement like any other
+// reconfiguration. The controller's lineage, reference matrix and
+// observation window advance to the restored network.
+func (c *Controller) Restore(s fault.Scenario, demands traffic.Matrix) (*RestoreReport, error) {
+	restored, err := c.comp.Topo.Recover(s.Switches, s.Links)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: restore: %w", err)
+	}
+	if demands == nil {
+		demands = c.mon.Ref
+	}
+	dem := demands.Restrict(restored)
+	if len(dem) == 0 {
+		return nil, fmt.Errorf("ctrl: restore %s leaves no demand pairs", s)
+	}
+	var restoredPorts []int
+	for _, p := range restored.Ports {
+		if _, ok := c.comp.Topo.PortByID(p.ID); !ok {
+			restoredPorts = append(restoredPorts, p.ID)
+		}
+	}
+	sort.Ints(restoredPorts)
+	next, err := c.comp.TopoFailover(restored, dem)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: restore recompile: %w", err)
+	}
+	plan := PlanMigration(c.comp.Config, next.Config, c.opts.Shards, c.opts.Combine)
+	start := time.Now()
+	if _, err := c.eng.Recover(next.Config, plan.Rewrite(), s.Switches, s.Links); err != nil {
+		return nil, fmt.Errorf("ctrl: restore apply: %w", err)
+	}
+	swap := time.Since(start)
+	c.comp = next
+	c.mon.Ref = next.Demands
+	c.eng.ResetObserved()
+	return &RestoreReport{
+		Scenario:      s,
+		Epoch:         c.eng.Epoch(),
+		Plan:          plan,
+		RestoredPorts: restoredPorts,
+		Compile:       next.Times.Total(),
+		Times:         next.Times,
+		Swap:          swap,
+	}, nil
+}
+
+// PolicyReport records one completed live policy edit.
+type PolicyReport struct {
+	// Epoch is the engine epoch after the swap.
+	Epoch int64
+	// Plan is the migration diff: variables the new solve re-placed.
+	Plan Plan
+	// Compile is the incremental policy recompilation (P1–P3, P5-ST, P6 on
+	// the reused model); Swap the ApplyConfig latency.
+	Compile time.Duration
+	Times   core.PhaseTimes
+	Swap    time.Duration
+}
+
+// ApplyPolicy hot-swaps a new policy onto the running deployment: the
+// §6.2 policy-change scenario driven through the live engine instead of a
+// cold restart. The optimization model is reused (core.PolicyChange), the
+// migration plan reconciles any re-placement the fresh solve chose, and
+// every state entry survives the swap — a state variable the new policy no
+// longer declares must be folded or dropped via Options.Shards/Combine
+// like any reconfiguration. The reference matrix and observation window
+// are untouched: editing the policy says nothing about demand, so drift
+// detection keeps its evidence.
+func (c *Controller) ApplyPolicy(p syntax.Policy) (*PolicyReport, error) {
+	next, err := c.comp.PolicyChange(p)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: policy recompile: %w", err)
+	}
+	plan := PlanMigration(c.comp.Config, next.Config, c.opts.Shards, c.opts.Combine)
+	start := time.Now()
+	if err := c.eng.ApplyConfig(next.Config, plan.Rewrite()); err != nil {
+		return nil, fmt.Errorf("ctrl: policy apply: %w", err)
+	}
+	swap := time.Since(start)
+	c.comp = next
+	return &PolicyReport{
+		Epoch:   c.eng.Epoch(),
+		Plan:    plan,
+		Compile: next.Times.Total(),
+		Times:   next.Times,
+		Swap:    swap,
 	}, nil
 }
 

@@ -934,15 +934,24 @@ func (e *Engine) ApplyConfig(cfg *rules.Config, rewrite StateRewrite) error {
 	if err := e.compatible(cfg, false); err != nil {
 		return err
 	}
-	_, err := e.apply(cfg, rewrite, false)
+	_, err := e.apply(cfg, rewrite, false, nil)
 	return err
 }
 
-// apply is the shared swap sequence of ApplyConfig and Failover. In
-// degraded mode, state owned by down switches is recovered from replica
+// recovery lists the failed elements an apply brings back up; the flags
+// clear only at the commit point, after the old plane's state has been
+// extracted (a recovering switch's stale tables must not resurrect) and
+// after every error return is behind.
+type recovery struct {
+	switches []topo.NodeID
+	links    [][2]topo.NodeID
+}
+
+// apply is the shared swap sequence of ApplyConfig, Failover and Recover.
+// In degraded mode, state owned by down switches is recovered from replica
 // stores (promotion) or reported lost; otherwise an entry-holding variable
 // without a new owner is an error.
-func (e *Engine) apply(cfg *rules.Config, rewrite StateRewrite, degraded bool) (*FailoverStats, error) {
+func (e *Engine) apply(cfg *rules.Config, rewrite StateRewrite, degraded bool, rec *recovery) (*FailoverStats, error) {
 	e.gate.pause()
 	defer e.gate.resume()
 	if e.closed.Load() {
@@ -989,6 +998,29 @@ func (e *Engine) apply(cfg *rules.Config, rewrite StateRewrite, degraded bool) (
 			return nil, fmt.Errorf("dataplane: state variable %s placed on down switch %d", v, owner)
 		}
 		next.seedVar(global, v, owner)
+	}
+	// Commit point: nothing below can fail. Recovering elements come back
+	// up here — after the stale state of the dead switches was excluded
+	// from the union above, and never on an errored apply.
+	if rec != nil {
+		for _, s := range rec.switches {
+			e.down[s].Store(false)
+		}
+		if len(rec.links) > 0 {
+			e.linkMu.Lock()
+			alive := map[[2]topo.NodeID]bool{}
+			if old := e.deadLinks.Load(); old != nil {
+				for k, v := range *old {
+					alive[k] = v
+				}
+			}
+			for _, l := range rec.links {
+				delete(alive, [2]topo.NodeID{l[0], l[1]})
+				delete(alive, [2]topo.NodeID{l[1], l[0]})
+			}
+			e.deadLinks.Store(&alive)
+			e.linkMu.Unlock()
+		}
 	}
 	e.plane.Store(next)
 	e.epoch.Add(1)

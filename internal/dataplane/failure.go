@@ -12,6 +12,7 @@ package dataplane
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"snap/internal/rules"
 	"snap/internal/topo"
@@ -125,5 +126,75 @@ func (e *Engine) Failover(cfg *rules.Config, rewrite StateRewrite) (*FailoverSta
 			return nil, fmt.Errorf("dataplane: Failover configuration treats failed switch %d as up; recompile on the degraded topology", n)
 		}
 	}
-	return e.apply(cfg, rewrite, true)
+	return e.apply(cfg, rewrite, true, nil)
+}
+
+// Recover installs a configuration compiled for a (partially) restored
+// topology, bringing the listed failed switches and links back into
+// service: Failover's inverse. The recovering switches return with *empty*
+// state tables — their memory died with them; whatever the failover
+// promoted to replicas stays where promotion put it, and the new placement
+// is free to move it back. Port attachments may reappear, but only on a
+// recovering switch; every port surviving from the current epoch must keep
+// its attachment, and a switch that stays failed must stay down in the new
+// topology. Recovering an element that is not currently failed is an
+// error. The down flags clear atomically with the epoch swap, so traffic
+// admitted after Recover returns sees the restored network, never a
+// half-revived one.
+func (e *Engine) Recover(cfg *rules.Config, rewrite StateRewrite, switches []topo.NodeID, links [][2]topo.NodeID) (*FailoverStats, error) {
+	recovering := make(map[topo.NodeID]bool, len(switches))
+	for _, s := range switches {
+		if int(s) < 0 || int(s) >= len(e.down) {
+			return nil, fmt.Errorf("dataplane: Recover: unknown switch %d", s)
+		}
+		if !e.down[s].Load() {
+			return nil, fmt.Errorf("dataplane: Recover: switch %d is not failed", s)
+		}
+		if !cfg.Topo.Up(s) {
+			return nil, fmt.Errorf("dataplane: Recover configuration still treats recovering switch %d as down", s)
+		}
+		recovering[s] = true
+	}
+	for _, l := range links {
+		if m := e.deadLinks.Load(); m == nil || !(*m)[[2]topo.NodeID{l[0], l[1]}] {
+			return nil, fmt.Errorf("dataplane: Recover: link %d-%d is not failed", l[0], l[1])
+		}
+	}
+	for n := 0; n < cfg.Topo.Switches; n++ {
+		if e.down[n].Load() && !recovering[topo.NodeID(n)] && cfg.Topo.Up(topo.NodeID(n)) {
+			return nil, fmt.Errorf("dataplane: Recover configuration treats failed switch %d as up without recovering it", n)
+		}
+	}
+	if err := e.compatibleRecover(cfg, recovering); err != nil {
+		return nil, err
+	}
+	return e.apply(cfg, rewrite, true, &recovery{switches: switches, links: links})
+}
+
+// compatibleRecover is the recovery variant of the epoch compatibility
+// check: ports may be *added* relative to the current (degraded) epoch,
+// but only re-attached to a switch that is coming back up; surviving ports
+// must keep their attachment exactly, and ports may still be missing (they
+// belong to switches that stay failed).
+func (e *Engine) compatibleRecover(cfg *rules.Config, recovering map[topo.NodeID]bool) error {
+	t := cfg.Topo
+	cur := e.plane.Load().cfg.Topo
+	if t.Switches != cur.Switches {
+		return fmt.Errorf("dataplane: Recover topology has %d switches, engine has %d", t.Switches, cur.Switches)
+	}
+	var parts []string
+	for _, p := range t.Ports {
+		if q, ok := cur.PortByID(p.ID); !ok {
+			if !recovering[p.Switch] {
+				parts = append(parts, fmt.Sprintf("port %d appears on switch %d, which is not recovering", p.ID, p.Switch))
+			}
+		} else if q.Switch != p.Switch {
+			parts = append(parts, fmt.Sprintf("port %d attached to switch %d, engine has it on switch %d", p.ID, p.Switch, q.Switch))
+		}
+	}
+	if len(parts) > 0 {
+		sort.Strings(parts)
+		return fmt.Errorf("dataplane: Recover topology port mismatch: %s", strings.Join(parts, "; "))
+	}
+	return nil
 }

@@ -1,0 +1,74 @@
+package fault_test
+
+import (
+	"reflect"
+	"testing"
+
+	"snap/internal/fault"
+	"snap/internal/topo"
+)
+
+// TestScenarioRecoveryComposition is the failure/recovery round-trip over
+// the enumerated scenario space: for every scenario (singles plus
+// correlated sets), Degrade followed by Recover of the same elements must
+// restore the original topology exactly. Degrade alone only composes
+// downward; this pins the upward inverse the chaos harness relies on when
+// it brings failed elements back mid-soak.
+func TestScenarioRecoveryComposition(t *testing.T) {
+	campus := topo.Campus(1000)
+	scenarios := fault.Enumerate(campus, fault.Options{Correlated: 6, CorrelatedSize: 2, Seed: 7})
+	if len(scenarios) == 0 {
+		t.Fatal("no scenarios enumerated")
+	}
+	for _, s := range scenarios {
+		d, err := campus.Degrade(s.Switches, s.Links)
+		if err != nil {
+			t.Fatalf("%s: degrade: %v", s, err)
+		}
+		r, err := d.Recover(s.Switches, s.Links)
+		if err != nil {
+			t.Fatalf("%s: recover: %v", s, err)
+		}
+		if r != campus {
+			t.Errorf("%s: recovery of the whole scenario should return the pristine topology", s)
+			continue
+		}
+		if !reflect.DeepEqual(r.Links, campus.Links) || !reflect.DeepEqual(r.Ports, campus.Ports) {
+			t.Errorf("%s: recovered topology differs structurally from the original", s)
+		}
+	}
+}
+
+// TestScenarioPartialRecovery overlays two correlated failures and recovers
+// one: the result must equal degrading the original by only the remaining
+// scenario — i.e. recovery commutes with composition.
+func TestScenarioPartialRecovery(t *testing.T) {
+	campus := topo.Campus(1000)
+	a := fault.SwitchDown(2)
+	b := fault.LinkDown(6, 8) // core link C1-C3 (exists in the campus wiring)
+	if campus.LinkBetween(6, 8) < 0 && campus.LinkBetween(8, 6) < 0 {
+		// Fall back to any live link if the wiring constant drifts.
+		l := campus.Links[0]
+		b = fault.LinkDown(l.From, l.To)
+	}
+	d1, err := campus.Degrade(a.Switches, a.Links)
+	if err != nil {
+		t.Fatalf("degrade a: %v", err)
+	}
+	d2, err := d1.Degrade(b.Switches, b.Links)
+	if err != nil {
+		t.Fatalf("degrade b: %v", err)
+	}
+	got, err := d2.Recover(a.Switches, a.Links)
+	if err != nil {
+		t.Fatalf("recover a: %v", err)
+	}
+	want, err := campus.Degrade(b.Switches, b.Links)
+	if err != nil {
+		t.Fatalf("degrade b only: %v", err)
+	}
+	if !reflect.DeepEqual(got.Links, want.Links) || !reflect.DeepEqual(got.Ports, want.Ports) ||
+		!reflect.DeepEqual(got.Down, want.Down) {
+		t.Errorf("partial recovery does not equal degrading by the remaining scenario")
+	}
+}

@@ -1,0 +1,141 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// structEq compares the observable shape of two topologies: same name,
+// switch count, links, ports and down-set. Unexported derivation state
+// (base/cut) is deliberately excluded — a recovered topology must *behave*
+// like the original, whoever derived it.
+func structEq(a, b *Topology) bool {
+	downEq := func(x, y []bool) bool {
+		all := func(v []bool) bool {
+			for _, d := range v {
+				if d {
+					return false
+				}
+			}
+			return true
+		}
+		if len(x) == len(y) {
+			return reflect.DeepEqual(x, y)
+		}
+		return all(x) && all(y)
+	}
+	return a.Name == b.Name &&
+		a.Switches == b.Switches &&
+		reflect.DeepEqual(a.Links, b.Links) &&
+		reflect.DeepEqual(a.Ports, b.Ports) &&
+		downEq(a.Down, b.Down)
+}
+
+func TestRecoverSwitchRestoresOriginal(t *testing.T) {
+	campus := Campus(1000)
+	d, err := campus.Degrade([]NodeID{2}, nil)
+	if err != nil {
+		t.Fatalf("degrade: %v", err)
+	}
+	if len(d.Ports) == len(campus.Ports) {
+		t.Fatalf("degrading switch 2 should drop its ports")
+	}
+	r, err := d.Recover([]NodeID{2}, nil)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if r != campus {
+		t.Errorf("full recovery should return the pristine topology itself")
+	}
+	if !structEq(r, campus) {
+		t.Errorf("recovered topology differs from the original")
+	}
+}
+
+func TestRecoverLinkRestoresOriginal(t *testing.T) {
+	campus := Campus(1000)
+	l := campus.Links[0]
+	d, err := campus.Degrade(nil, [][2]NodeID{{l.From, l.To}})
+	if err != nil {
+		t.Fatalf("degrade: %v", err)
+	}
+	if len(d.Links) == len(campus.Links) {
+		t.Fatalf("degrading a link should remove it")
+	}
+	// Recover via the reverse direction: link failures are undirected.
+	r, err := d.Recover(nil, [][2]NodeID{{l.To, l.From}})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if !structEq(r, campus) {
+		t.Errorf("recovered topology differs from the original")
+	}
+}
+
+func TestRecoverPartialLeavesRemainingFailures(t *testing.T) {
+	campus := Campus(1000)
+	both, err := campus.Degrade([]NodeID{2, 3}, nil)
+	if err != nil {
+		t.Fatalf("degrade both: %v", err)
+	}
+	got, err := both.Recover([]NodeID{2}, nil)
+	if err != nil {
+		t.Fatalf("recover 2: %v", err)
+	}
+	want, err := campus.Degrade([]NodeID{3}, nil)
+	if err != nil {
+		t.Fatalf("degrade 3: %v", err)
+	}
+	if !structEq(got, want) {
+		t.Errorf("partial recovery mismatch:\ngot  %d links %d ports down=%v\nwant %d links %d ports down=%v",
+			len(got.Links), len(got.Ports), got.Down, len(want.Links), len(want.Ports), want.Down)
+	}
+	if got.Pristine() != campus {
+		t.Errorf("partial recovery must keep descending from the pristine topology")
+	}
+}
+
+func TestRecoverStackedDegrades(t *testing.T) {
+	campus := Campus(1000)
+	d1, err := campus.Degrade([]NodeID{2}, nil)
+	if err != nil {
+		t.Fatalf("degrade 2: %v", err)
+	}
+	l := d1.Links[0]
+	d2, err := d1.Degrade(nil, [][2]NodeID{{l.From, l.To}})
+	if err != nil {
+		t.Fatalf("degrade link: %v", err)
+	}
+	r1, err := d2.Recover(nil, [][2]NodeID{{l.From, l.To}})
+	if err != nil {
+		t.Fatalf("recover link: %v", err)
+	}
+	if !structEq(r1, d1) {
+		t.Errorf("recovering the link should restore the switch-only degradation")
+	}
+	r2, err := r1.Recover([]NodeID{2}, nil)
+	if err != nil {
+		t.Fatalf("recover switch: %v", err)
+	}
+	if r2 != campus {
+		t.Errorf("recovering everything should return the pristine topology")
+	}
+}
+
+func TestRecoverRejectsHealthyElements(t *testing.T) {
+	campus := Campus(1000)
+	if _, err := campus.Degrade([]NodeID{2}, nil); err != nil {
+		t.Fatalf("degrade: %v", err)
+	}
+	d, _ := campus.Degrade([]NodeID{2}, nil)
+	if _, err := d.Recover([]NodeID{3}, nil); err == nil {
+		t.Errorf("recovering a healthy switch should fail")
+	}
+	l := campus.Links[0]
+	if _, err := d.Recover(nil, [][2]NodeID{{l.From, l.To}}); err == nil {
+		t.Errorf("recovering a healthy link should fail")
+	}
+	if _, err := campus.Recover([]NodeID{2}, nil); err == nil {
+		t.Errorf("recovering on a pristine topology should fail")
+	}
+}

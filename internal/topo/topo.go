@@ -49,6 +49,14 @@ type Topology struct {
 	// their NodeID but have no links and no ports.
 	Down []bool
 
+	// base is the pristine topology a degraded instance descends from and
+	// cut the cumulative set of individually-failed links (both
+	// directions), so Recover can compose failures upward: a recovery is
+	// re-derived from base with the surviving failure set, never patched
+	// onto the degraded instance (whose dead links and ports are gone).
+	base *Topology
+	cut  map[[2]NodeID]bool
+
 	out       [][]int // adjacency: out[n] lists indices into Links
 	linkIndex map[[2]NodeID]int
 	portBy    map[int]Port
@@ -260,7 +268,81 @@ func (t *Topology) Degrade(switches []NodeID, links [][2]NodeID) (*Topology, err
 		return nil, err
 	}
 	d.Down = down
+	d.base = t.Pristine()
+	d.cut = make(map[[2]NodeID]bool, len(t.cut)+len(cutLink))
+	for k := range t.cut {
+		d.cut[k] = true
+	}
+	for k := range cutLink {
+		d.cut[k] = true
+	}
 	return d, nil
+}
+
+// Pristine returns the undegraded topology this one descends from (itself
+// when no failure has been applied).
+func (t *Topology) Pristine() *Topology {
+	if t.base != nil {
+		return t.base
+	}
+	return t
+}
+
+// Recover composes failures upward: the listed switches come back up and
+// the listed undirected links are repaired, restoring their original
+// capacities, ports and attachments from the pristine topology. Recovering
+// an element that is not currently failed is an error. When the last
+// failure is recovered the result is the pristine topology itself, so a
+// failure followed by recovery of the same element is exactly the
+// identity — the inverse Degrade lacked, which only composed downward.
+// The receiver is not modified.
+func (t *Topology) Recover(switches []NodeID, links [][2]NodeID) (*Topology, error) {
+	stillDown := make(map[NodeID]bool)
+	for n, d := range t.Down {
+		if d {
+			stillDown[NodeID(n)] = true
+		}
+	}
+	for _, s := range switches {
+		if !stillDown[s] {
+			return nil, fmt.Errorf("topology %s: cannot recover switch %d: not failed", t.Name, s)
+		}
+		delete(stillDown, s)
+	}
+	stillCut := make(map[[2]NodeID]bool, len(t.cut))
+	for k := range t.cut {
+		stillCut[k] = true
+	}
+	for _, l := range links {
+		if !stillCut[[2]NodeID{l[0], l[1]}] && !stillCut[[2]NodeID{l[1], l[0]}] {
+			return nil, fmt.Errorf("topology %s: cannot recover link %d-%d: not failed", t.Name, l[0], l[1])
+		}
+		delete(stillCut, [2]NodeID{l[0], l[1]})
+		delete(stillCut, [2]NodeID{l[1], l[0]})
+	}
+	var remSwitches []NodeID
+	for n := 0; n < t.Switches; n++ {
+		if stillDown[NodeID(n)] {
+			remSwitches = append(remSwitches, NodeID(n))
+		}
+	}
+	var remLinks [][2]NodeID
+	for k := range stillCut {
+		if k[0] < k[1] {
+			remLinks = append(remLinks, k)
+		}
+	}
+	sort.Slice(remLinks, func(i, j int) bool {
+		if remLinks[i][0] != remLinks[j][0] {
+			return remLinks[i][0] < remLinks[j][0]
+		}
+		return remLinks[i][1] < remLinks[j][1]
+	})
+	base := t.Pristine()
+	if len(remSwitches) == 0 && len(remLinks) == 0 {
+		return base, nil
+	}
+	return base.Degrade(remSwitches, remLinks)
 }
 
 // UpConnected reports whether the alive switches form one connected

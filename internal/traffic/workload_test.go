@@ -1,0 +1,166 @@
+package traffic
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"snap/internal/topo"
+)
+
+func TestZipfDeterministicPerSeed(t *testing.T) {
+	campus := topo.Campus(1000)
+	a := Zipf(campus, 1e6, 1.2, 42)
+	b := Zipf(campus, 1e6, 1.2, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different matrices")
+	}
+	c := Zipf(campus, 1e6, 1.2, 43)
+	if Divergence(a, c) == 0 {
+		t.Fatal("different seeds should shuffle the port ranking")
+	}
+}
+
+func TestZipfConservesTotalDemand(t *testing.T) {
+	campus := topo.Campus(1000)
+	for _, alpha := range []float64{0, 0.8, 1.2, 2.0} {
+		m := Zipf(campus, 1e6, alpha, 7)
+		if got := m.Total(); math.Abs(got-1e6) > 1 {
+			t.Errorf("alpha=%.1f: total %.3f, want 1e6", alpha, got)
+		}
+	}
+}
+
+func TestZipfSkewWithinTolerance(t *testing.T) {
+	campus := topo.Campus(1000)
+
+	// alpha = 0 degenerates to the uniform matrix exactly.
+	if d := Divergence(Zipf(campus, 1e6, 0, 7), Uniform(campus, 1)); d > 1e-9 {
+		t.Errorf("alpha=0 should be uniform, divergence %.2e", d)
+	}
+
+	// Positive alpha: the hottest port's marginal share must match the
+	// analytic Zipf prediction. With 6 ports and weights w_r = r^-alpha,
+	// the rank-1 port's share of total demand is w_1(Σw - w_1)/(Σw² - Σw²_r).
+	const alpha = 1.2
+	m := Zipf(campus, 1e6, alpha, 7)
+	marg := map[int]float64{}
+	for k, v := range m {
+		marg[k[0]] += v // row marginal: demand sourced at port k[0]
+	}
+	var hottest float64
+	for _, v := range marg {
+		if v > hottest {
+			hottest = v
+		}
+	}
+	n := len(campus.PortIDs())
+	var sum, sq float64
+	for r := 1; r <= n; r++ {
+		w := 1.0 / math.Pow(float64(r), alpha)
+		sum += w
+		sq += w * w
+	}
+	want := 1e6 * 1.0 * (sum - 1.0) / (sum*sum - sq)
+	if math.Abs(hottest-want) > 0.01*want {
+		t.Errorf("hottest-port marginal %.1f, analytic %.1f (±1%%)", hottest, want)
+	}
+	// And the skew must be real: the hot port carries well above the
+	// uniform share 1/n.
+	if hottest < 1.5*1e6/float64(n) {
+		t.Errorf("hottest port share %.3f of total, expected ≥ 1.5/n", hottest/1e6)
+	}
+}
+
+func TestChurnReplayDeterministicPerSeed(t *testing.T) {
+	campus := topo.Campus(1000)
+	m := Gravity(campus, 1e6, 1)
+	a := m.ChurnReplay(2000, 32, 8, 99)
+	b := m.ChurnReplay(2000, 32, 8, 99)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different churn traces")
+	}
+	c := m.ChurnReplay(2000, 32, 8, 100)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical churn traces")
+	}
+}
+
+func TestChurnReplayDrawsFollowDemand(t *testing.T) {
+	campus := topo.Campus(1000)
+	m := Gravity(campus, 1e6, 1)
+	trace := m.ChurnReplay(5000, 32, 8, 99)
+	if len(trace) != 5000 {
+		t.Fatalf("trace length %d, want 5000", len(trace))
+	}
+	emp := Matrix{}
+	for _, f := range trace {
+		if m[f.Pair] <= 0 {
+			t.Fatalf("drew pair %v with non-positive demand", f.Pair)
+		}
+		emp[f.Pair]++
+	}
+	// The empirical pair distribution converges to the matrix; at 5k draws
+	// a quarter of TV distance is a generous, deterministic bound.
+	if d := Divergence(m, emp); d > 0.25 {
+		t.Errorf("empirical trace diverges from matrix: TV %.3f", d)
+	}
+}
+
+func TestChurnReplayRecyclesFlows(t *testing.T) {
+	campus := topo.Campus(1000)
+	m := Gravity(campus, 1e6, 1)
+	const n, active, recycle = 4000, 32, 8
+	trace := m.ChurnReplay(n, active, recycle, 5)
+
+	ids := map[uint32]bool{}
+	maxID := uint32(0)
+	for _, f := range trace {
+		ids[f.ID] = true
+		if f.ID > maxID {
+			maxID = f.ID
+		}
+		if f.ID == 0 {
+			t.Fatal("flow id 0 drawn; identities are minted from 1")
+		}
+	}
+	// Identities minted: the initial ring plus one per recycle interval.
+	minted := uint32(active + n/recycle)
+	if maxID > minted {
+		t.Errorf("max flow id %d exceeds minted identities %d", maxID, minted)
+	}
+	if len(ids) < active {
+		t.Errorf("only %d distinct flows drawn, ring holds %d", len(ids), active)
+	}
+	// Churn means turnover: the earliest identities must be long retired by
+	// the tail of the trace. At draw i the live window starts after
+	// floor(i/recycle) retirements, so the last quarter can only contain
+	// identities minted well past the initial ring.
+	retiredBy := uint32(3 * n / 4 / recycle)
+	floor := retiredBy - uint32(active) // ids ≤ this are certainly retired
+	for _, f := range trace[3*n/4:] {
+		if f.ID <= floor {
+			t.Fatalf("retired flow id %d drawn in the final quarter (floor %d)", f.ID, floor)
+		}
+	}
+	// And fresh identities keep arriving: the trace must use far more
+	// distinct flows than a fixed population would.
+	if len(ids) < 4*active {
+		t.Errorf("trace used %d distinct flows; churn should mint ≥ %d", len(ids), 4*active)
+	}
+}
+
+func TestChurnReplayEdgeCases(t *testing.T) {
+	campus := topo.Campus(1000)
+	if tr := (Matrix{}).ChurnReplay(100, 8, 4, 1); tr != nil {
+		t.Errorf("empty matrix should produce a nil trace")
+	}
+	m := Gravity(campus, 1e6, 1)
+	if tr := m.ChurnReplay(0, 8, 4, 1); tr != nil {
+		t.Errorf("n=0 should produce a nil trace")
+	}
+	// Defaults apply for non-positive knobs.
+	if tr := m.ChurnReplay(10, 0, 0, 1); len(tr) != 10 {
+		t.Errorf("defaulted knobs: got %d draws, want 10", len(tr))
+	}
+}
