@@ -34,7 +34,7 @@ type report struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|throughput|scale|hotpath|reconfig|failover|chaos|all")
+	exp := flag.String("exp", "all", "experiment: table3|table4|table5|table6|fig9|fig10|fig11|policy|throughput|scale|hotpath|reconfig|failover|chaos|all")
 	scaleName := flag.String("scale", "ci", "scale preset: ci|full")
 	cpu := flag.Int("cpu", 0, "GOMAXPROCS for the throughput and scale experiments (0 = host default); 1-core rows are always emitted alongside")
 	jsonPath := flag.String("json", "", "also write the collected rows as JSON to this file (e.g. BENCH.json)")
@@ -107,6 +107,14 @@ func main() {
 			rep.Experiments[name] = rows
 			fmt.Printf("== Figure 11: scaling with composed policies (scale=%s) ==\n%s\n",
 				scale.Name, bench.FormatFig11(rows))
+		case "policy":
+			rows, err := bench.PolicyDelta(scale)
+			if err != nil {
+				return err
+			}
+			rep.Experiments[name] = rows
+			fmt.Printf("== Policy delta: incremental PolicyChange vs cold recompile of the same edit (scale=%s) ==\n%s\n",
+				scale.Name, bench.FormatPolicyDelta(rows))
 		case "throughput":
 			rows, err := bench.ThroughputCPUs(scale, *cpu)
 			if err != nil {
@@ -163,7 +171,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table3", "table4", "table5", "table6", "fig9", "fig10", "fig11", "throughput", "scale", "hotpath", "reconfig", "failover", "chaos"}
+		names = []string{"table3", "table4", "table5", "table6", "fig9", "fig10", "fig11", "policy", "throughput", "scale", "hotpath", "reconfig", "failover", "chaos"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

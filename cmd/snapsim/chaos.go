@@ -20,6 +20,7 @@ type chaosOptions struct {
 	replication bool
 	short       bool
 	workers     int
+	verbose     bool
 }
 
 func runChaos(co chaosOptions) {
@@ -32,6 +33,7 @@ func runChaos(co chaosOptions) {
 		Replication: co.replication,
 		Replicas:    co.k,
 		Log:         os.Stdout,
+		Verbose:     co.verbose,
 	}
 	if co.short {
 		// The CI smoke configuration: same schedule shape (10 chunks, one

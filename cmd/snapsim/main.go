@@ -80,7 +80,7 @@ func main() {
 	appName := flag.String("app", "dns-tunnel-detect", "catalogued application to run")
 	packets := flag.Int("packets", 300, "number of packets to inject (per-packet cross-check mode)")
 	seed := flag.Int64("seed", 1, "workload PRNG seed")
-	verbose := flag.Bool("v", false, "log each delivery")
+	verbose := flag.Bool("v", false, "log each delivery; with -chaos, expand policy edits with the delta compiler's phase and reuse detail")
 	load := flag.Int("load", 0, "replay this many matrix-drawn packets through the concurrent engine")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker slots (load mode)")
 	switchWorkers := flag.Int("switch-workers", 2, "goroutines per switch (load mode)")
@@ -111,6 +111,7 @@ func main() {
 		runChaos(chaosOptions{
 			seed: *seed, topo: *chaosTopo, packets: chaosPackets, chunk: *chaosChunk,
 			k: *chaosK, replication: *chaosRepl, short: *chaosShort, workers: *workers,
+			verbose: *verbose,
 		})
 		return
 	}

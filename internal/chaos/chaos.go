@@ -74,6 +74,9 @@ type Options struct {
 	Probes int
 	// Log receives the event timeline as it executes (nil = silent).
 	Log io.Writer
+	// Verbose expands policy-edit events in the timeline with the delta
+	// compiler's phase-time split and reuse counters.
+	Verbose bool
 
 	// corrupt, when set, runs at the "corrupt" event's boundary with the
 	// live engine and its current configuration — the regression hook

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"snap/internal/core"
 	"snap/internal/dataplane"
 	"snap/internal/syntax"
 	"snap/internal/traffic"
@@ -164,7 +165,12 @@ func (h *harness) execEvent(ci int, ev event, variants []syntax.Policy) bool {
 			h.violate(ci, "policy edit lost state: %d entries before, %d after", before, after)
 		}
 		h.orc.policy = next
-		h.record(ci, "policy", fmt.Sprintf("variant=%d epoch=%d plan={%s}", h.polID%len(variants), pr.Epoch, pr.Plan))
+		h.record(ci, "policy", fmt.Sprintf("variant=%d epoch=%d plan={%s}%s",
+			h.polID%len(variants), pr.Epoch, pr.Plan, deltaSummary(pr.Delta)))
+		if h.o.Verbose {
+			h.logf("  policy phases: p1=%s p2=%s p3=%s p5=%s p6=%s swap=%s",
+				pr.Times.P1Deps, pr.Times.P2XFDD, pr.Times.P3Map, pr.Times.P5Solve, pr.Times.P6Rules, pr.Swap)
+		}
 
 	case "fail":
 		// The soak's failures strike at quiescent boundaries, so drain the
@@ -239,6 +245,21 @@ func (h *harness) execEvent(ci int, ev event, variants []syntax.Policy) bool {
 		}
 	}
 	return true
+}
+
+// deltaSummary compacts a recompilation's DeltaReport for the event
+// timeline: the path taken and, on the delta path, the reuse counters.
+func deltaSummary(d *core.DeltaReport) string {
+	if d == nil {
+		return ""
+	}
+	if d.Scenario != "delta" {
+		return fmt.Sprintf(" delta=%s", d.Scenario)
+	}
+	return fmt.Sprintf(" delta=delta dirty-vars=%d nodes=%d/%d pinned=%d moved=%d progs=%d/%d dirty-switches=%d",
+		len(d.DirtyVars), d.ReusedNodes, d.ReusedNodes+d.FreshNodes,
+		d.PinnedGroups, d.MovedGroups,
+		d.ReusedPrograms, d.ReusedPrograms+d.CompiledPrograms, len(d.DirtySwitches))
 }
 
 // driftStep runs the passive control loop: if the observed matrix has

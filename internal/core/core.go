@@ -58,19 +58,31 @@ type Compilation struct {
 	Config  *rules.Config
 
 	Times PhaseTimes
+	// Delta describes how a PolicyChange was compiled (nil for other
+	// scenarios): the path taken and the reuse counters.
+	Delta *DeltaReport
+
+	// delta is the lineage's persistent cache bundle (see delta.go),
+	// propagated through every recompilation scenario.
+	delta *deltaState
 }
 
 // ColdStart runs the full pipeline P1–P6 (the first compilation on a
 // network).
 func ColdStart(p syntax.Policy, t *topo.Topology, demands traffic.Matrix, opts place.Options) (*Compilation, error) {
-	c := &Compilation{Policy: p, Topo: t, Demands: demands, Opts: opts}
+	// The cold start instantiates the lineage's delta caches and compiles
+	// through them with everything empty — same work as the one-shot
+	// entry points, but the fragment memo, mapping caches and program
+	// cache come out primed for the first PolicyChange.
+	ds := newDeltaState()
+	c := &Compilation{Policy: p, Topo: t, Demands: demands, Opts: opts, delta: ds}
 
 	start := time.Now()
 	c.Order = deps.OrderOf(p)
 	c.Times.P1Deps = time.Since(start)
 
 	start = time.Now()
-	d, err := xfdd.TranslateWithOrder(p, c.Order)
+	d, err := ds.translator(c.Order).TranslateMemo(p)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +90,7 @@ func ColdStart(p syntax.Policy, t *topo.Topology, demands traffic.Matrix, opts p
 	c.Times.P2XFDD = time.Since(start)
 
 	start = time.Now()
-	c.Mapping = psmap.Build(d, t.PortIDs())
+	c.Mapping = ds.builder.Build(d, t.PortIDs())
 	c.Times.P3Map = time.Since(start)
 
 	start = time.Now()
@@ -93,7 +105,7 @@ func ColdStart(p syntax.Policy, t *topo.Topology, demands traffic.Matrix, opts p
 	c.Times.P5Solve = time.Since(start)
 
 	start = time.Now()
-	c.Config, err = rules.GenerateReplicated(d, t, c.Result.Placement, c.Result.Replicas, c.Result.Routes)
+	c.Config, err = ds.gen.Generate(d, t, c.Result.Placement, c.Result.Replicas, c.Result.Routes)
 	if err != nil {
 		return nil, err
 	}
@@ -101,16 +113,98 @@ func ColdStart(p syntax.Policy, t *topo.Topology, demands traffic.Matrix, opts p
 	return c, nil
 }
 
-// PolicyChange compiles a new policy against an existing deployment,
-// reusing the optimization model (P4 is skipped; the paper reports
-// incremental model updates take milliseconds).
+// PolicyChange compiles a new policy against an existing deployment. The
+// optimization model is always reused (P4 is skipped; the paper reports
+// incremental model updates take milliseconds), and on lineages started
+// with ColdStart every other phase runs in delta mode: a structurally
+// identical policy short-circuits to the existing artifacts, and an edit
+// recompiles only the changed fragments, warm-starts placement from the
+// previous result, and recalls cached per-switch programs. The compiled
+// artifacts are equivalent to a ColdPolicy run on the same inputs (the
+// fuzz suite asserts this); only the time to produce them differs.
 func (c *Compilation) PolicyChange(p syntax.Policy) (*Compilation, error) {
+	if c.delta == nil || c.Result == nil || c.Config == nil {
+		// Not a delta-capable lineage (hand-built Compilation): fall back.
+		return c.ColdPolicy(p)
+	}
+
+	// No-op short-circuit: a structurally identical policy compiles to
+	// identical artifacts, so reuse them wholesale with zero phase times.
+	if syntax.Equal(c.Policy, p) {
+		n := *c
+		n.Policy = p
+		n.Times = PhaseTimes{}
+		n.Delta = &DeltaReport{Scenario: "noop"}
+		return &n, nil
+	}
+
+	ds := c.delta
 	n := &Compilation{
 		Policy:  p,
 		Topo:    c.Topo,
 		Demands: c.Demands,
 		Opts:    c.Opts,
 		Model:   c.Model,
+		delta:   ds,
+	}
+	rep := &DeltaReport{Scenario: "delta"}
+	n.Delta = rep
+
+	start := time.Now()
+	n.Order = deps.OrderOf(p)
+	diff := syntax.DiffPolicies(c.Policy, p)
+	var dirty map[string]bool
+	rep.DirtyVars, dirty = dirtyVars(diff)
+	n.Times.P1Deps = time.Since(start)
+
+	start = time.Now()
+	tr := ds.translator(n.Order)
+	mark := tr.Store().Watermark()
+	d, err := tr.TranslateMemo(p)
+	if err != nil {
+		return nil, err
+	}
+	n.Diagram = d
+	rep.ReusedNodes, rep.FreshNodes = xfdd.ReuseOf(d, mark)
+	n.Times.P2XFDD = time.Since(start)
+
+	start = time.Now()
+	n.Mapping = ds.builder.Build(d, c.Topo.PortIDs())
+	n.Times.P3Map = time.Since(start)
+
+	start = time.Now()
+	n.Result, err = n.Model.SolveSTWarm(n.Mapping, n.Order, c.Result.Placement, dirty)
+	if err != nil {
+		return nil, err
+	}
+	rep.PinnedGroups, rep.MovedGroups = n.Result.PinnedGroups, n.Result.MovedGroups
+	n.Times.P5Solve = time.Since(start)
+
+	start = time.Now()
+	n.Config, err = ds.gen.Generate(d, c.Topo, n.Result.Placement, n.Result.Replicas, n.Result.Routes)
+	if err != nil {
+		return nil, err
+	}
+	rep.ReusedPrograms, rep.CompiledPrograms = ds.gen.ReusedPrograms, ds.gen.CompiledPrograms
+	rep.DirtySwitches = rules.DiffSwitches(c.Config, n.Config)
+	n.Times.P6Rules = time.Since(start)
+	return n, nil
+}
+
+// ColdPolicy is the non-incremental policy-change path: the previous
+// PolicyChange body, kept as the fallback for non-delta lineages and as
+// the equivalence oracle the delta path is fuzz-tested against. It reuses
+// only the optimization model; every program-analysis phase runs from
+// scratch.
+func (c *Compilation) ColdPolicy(p syntax.Policy) (*Compilation, error) {
+	n := &Compilation{
+		Policy:  p,
+		Topo:    c.Topo,
+		Demands: c.Demands,
+		Opts:    c.Opts,
+		Model:   c.Model,
+		delta:   c.delta,
+		Delta:   &DeltaReport{Scenario: "cold"},
 	}
 
 	start := time.Now()
@@ -142,6 +236,9 @@ func (c *Compilation) PolicyChange(p syntax.Policy) (*Compilation, error) {
 		return nil, err
 	}
 	n.Times.P6Rules = time.Since(start)
+	if c.Config != nil {
+		n.Delta.DirtySwitches = rules.DiffSwitches(c.Config, n.Config)
+	}
 	return n, nil
 }
 
@@ -183,6 +280,7 @@ func (c *Compilation) TopoFailover(degraded *topo.Topology, demands traffic.Matr
 		Opts:    c.Opts,
 		Order:   c.Order,
 		Diagram: c.Diagram,
+		delta:   c.delta,
 	}
 
 	start := time.Now()
@@ -222,6 +320,7 @@ func (c *Compilation) topoTMRecompile(demands traffic.Matrix, solve func(*place.
 		Order:   c.Order,
 		Diagram: c.Diagram,
 		Mapping: c.Mapping,
+		delta:   c.delta,
 	}
 
 	start := time.Now()

@@ -1,0 +1,109 @@
+// Delta compilation (the incremental policy-change path). A Compilation
+// lineage carries a deltaState: per-test-order translators whose fragment
+// memos and hash-consing stores persist across edits, a packet-state
+// mapping builder with cross-build caches, and a rule generator with a
+// pointer-stable program cache. PolicyChange diffs the old and new policy
+// ASTs, derives the set of state variables the edit can have touched, and
+// runs every phase in delta mode: unchanged fragments reuse their
+// interned subdiagrams, clean variables keep their placement, and only
+// switches whose configuration actually changed are reported dirty to the
+// controller.
+//
+// Invariants the delta path relies on (see docs/ARCHITECTURE.md):
+//
+//   - dirty-set soundness: a variable mentioned by no changed fragment
+//     has identical read/write sites in both policies, so keeping its
+//     placement can only cost optimization quality, never correctness;
+//     the full mapping and solve still run, so routes and rules always
+//     reflect the new policy exactly.
+//   - translator reuse requires an identical test order: translators are
+//     keyed by the order signature, and an edit that changes the state
+//     variable set gets a fresh translator (no reuse, still correct).
+//   - program reuse requires pointer identity of the diagram root, which
+//     hash-consing provides within one translator store.
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"snap/internal/deps"
+	"snap/internal/psmap"
+	"snap/internal/rules"
+	"snap/internal/syntax"
+	"snap/internal/topo"
+	"snap/internal/xfdd"
+)
+
+// DeltaReport describes how a PolicyChange was compiled: which path it
+// took and how much prior work it reused.
+type DeltaReport struct {
+	// Scenario is "noop" (structurally identical policy, everything
+	// reused), "delta" (incremental path), or "cold" (ColdPolicy
+	// fallback).
+	Scenario string
+	// DirtyVars lists the state variables the edit may have affected
+	// (union of the changed fragments' variable sets), sorted.
+	DirtyVars []string
+	// ReusedNodes and FreshNodes split the new diagram's unique nodes
+	// into those that existed in the translator's store before the edit
+	// and those the edit minted.
+	ReusedNodes, FreshNodes int
+	// PinnedGroups and MovedGroups report the warm-started placement
+	// split (zero when the solve fell back to a full run).
+	PinnedGroups, MovedGroups int
+	// ReusedPrograms and CompiledPrograms count distinct per-switch
+	// NetASM programs recalled from the generator cache vs compiled.
+	ReusedPrograms, CompiledPrograms int
+	// DirtySwitches lists the switches whose data-plane configuration
+	// changed; the controller only needs to disturb these.
+	DirtySwitches []topo.NodeID
+}
+
+// deltaState is the persistent cache bundle shared along a Compilation
+// lineage (ColdStart and every recompilation derived from it).
+type deltaState struct {
+	translators map[string]*xfdd.Translator
+	builder     *psmap.Builder
+	gen         *rules.Generator
+}
+
+func newDeltaState() *deltaState {
+	return &deltaState{
+		translators: map[string]*xfdd.Translator{},
+		builder:     psmap.NewBuilder(),
+		gen:         rules.NewGenerator(),
+	}
+}
+
+// translator returns the lineage's translator for a test order, creating
+// one per distinct order signature. Reusing a translator across orders
+// would be unsound (the memo bakes in the test order), so the signature
+// is the full ordered variable list.
+func (ds *deltaState) translator(order *deps.Order) *xfdd.Translator {
+	sig := strings.Join(order.Vars, "\x00")
+	tr := ds.translators[sig]
+	if tr == nil {
+		tr = xfdd.NewTranslator(order)
+		ds.translators[sig] = tr
+	}
+	return tr
+}
+
+// dirtyVars computes the sorted union of state variables mentioned by any
+// changed fragment of the diff — the set of variables whose read/write
+// sites the edit can possibly have altered.
+func dirtyVars(diff *syntax.Diff) ([]string, map[string]bool) {
+	set := map[string]bool{}
+	for _, frag := range diff.Changed() {
+		for _, v := range deps.Vars(frag) {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out, set
+}

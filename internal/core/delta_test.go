@@ -1,0 +1,274 @@
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"snap/internal/apps"
+	"snap/internal/core"
+	"snap/internal/pkt"
+	"snap/internal/place"
+	"snap/internal/polygen"
+	"snap/internal/state"
+	"snap/internal/syntax"
+	"snap/internal/topo"
+	"snap/internal/traffic"
+	"snap/internal/values"
+	"snap/internal/xfdd"
+)
+
+// editedPolicy inserts a stateless ACL stage before the egress assignment
+// — a single-fragment edit that touches no state variable.
+func editedPolicy() syntax.Policy {
+	return syntax.Then(
+		apps.Assumption(6),
+		syntax.Then(apps.DNSTunnelDetect(),
+			syntax.Then(
+				syntax.Cond(syntax.FieldEq(pkt.SrcPort, values.Int(7777)), syntax.Nothing(), syntax.Id()),
+				apps.AssignEgress(6),
+			)),
+	)
+}
+
+// TestPolicyChangeNoop: a structurally identical policy short-circuits —
+// zero phase times, shared artifacts, Scenario "noop".
+func TestPolicyChangeNoop(t *testing.T) {
+	p, net, tm := pipelineInputs()
+	cold, err := core.ColdStart(p, net, tm, place.Options{Method: place.Heuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A structurally equal rebuild, not the same pointer.
+	same := syntax.Then(
+		apps.Assumption(6),
+		syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(6)),
+	)
+	next, err := cold.PolicyChange(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Delta == nil || next.Delta.Scenario != "noop" {
+		t.Fatalf("Delta = %+v, want noop scenario", next.Delta)
+	}
+	if next.Times.Total() != 0 {
+		t.Fatalf("no-op edit spent %v of phase time", next.Times.Total())
+	}
+	if next.Config != cold.Config || next.Result != cold.Result || next.Diagram != cold.Diagram {
+		t.Fatal("no-op edit must reuse the existing artifacts wholesale")
+	}
+}
+
+// TestPolicyChangeDeltaPath: a single-fragment edit takes the delta path,
+// reuses interned nodes and cached programs, pins clean placement, and
+// produces a diagram structurally equal to the cold compilation's.
+func TestPolicyChangeDeltaPath(t *testing.T) {
+	p, net, tm := pipelineInputs()
+	cold, err := core.ColdStart(p, net, tm, place.Options{Method: place.Heuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := cold.PolicyChange(editedPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := next.Delta
+	if rep == nil || rep.Scenario != "delta" {
+		t.Fatalf("Delta = %+v, want delta scenario", rep)
+	}
+	if len(rep.DirtyVars) != 0 {
+		t.Fatalf("stateless edit dirtied variables: %v", rep.DirtyVars)
+	}
+	if rep.ReusedNodes == 0 {
+		t.Fatal("edit reused no interned diagram nodes")
+	}
+	if rep.MovedGroups != 0 || rep.PinnedGroups == 0 {
+		t.Fatalf("stateless edit should pin all groups: pinned=%d moved=%d",
+			rep.PinnedGroups, rep.MovedGroups)
+	}
+	for v, n := range cold.Result.Placement {
+		if next.Result.Placement[v] != n {
+			t.Fatalf("clean variable %s moved: %d -> %d", v, n, next.Result.Placement[v])
+		}
+	}
+
+	oracle, err := cold.ColdPolicy(editedPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xfdd.StructuralEqual(next.Diagram, oracle.Diagram) {
+		t.Fatal("delta diagram differs from cold-compiled diagram")
+	}
+	for pair := range next.Demands {
+		if _, ok := next.Result.Routes[pair]; !ok {
+			t.Fatalf("missing route for %v", pair)
+		}
+	}
+}
+
+// TestFig11SingleEditReuse: the acceptance-criterion workload — on the
+// 12-policy composed benchmark, a single-fragment edit must reuse at
+// least half of the result diagram's interned nodes.
+func TestFig11SingleEditReuse(t *testing.T) {
+	net := topo.Campus(1000)
+	tm := traffic.Gravity(net, 100, 1)
+	ports := len(net.Ports)
+
+	oldP := composedBench(12, ports, -1)
+	newP := composedBench(12, ports, 4) // replace app 4's guard action
+	cold, err := core.ColdStart(oldP, net, tm, place.Options{Method: place.Heuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := cold.PolicyChange(newP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := next.Delta
+	if rep == nil || rep.Scenario != "delta" {
+		t.Fatalf("Delta = %+v, want delta scenario", rep)
+	}
+	total := rep.ReusedNodes + rep.FreshNodes
+	if total == 0 || rep.ReusedNodes*2 < total {
+		t.Fatalf("single-fragment edit on fig11 workload reused %d/%d nodes, want >= half",
+			rep.ReusedNodes, total)
+	}
+}
+
+// composedBench mirrors bench.ComposedPolicy: k catalogue apps, each
+// guarded by a destination subnet. When edit >= 0, that app slot gets an
+// extra stateless drop guard — the single-fragment edit.
+func composedBench(k, ports, edit int) syntax.Policy {
+	cat := apps.All()
+	if k > len(cat) {
+		k = len(cat)
+	}
+	members := make([]syntax.Policy, 0, k)
+	for i := 0; i < k; i++ {
+		body := cat[i].MustPolicy()
+		if i == edit {
+			body = syntax.Then(
+				syntax.Cond(syntax.FieldEq(pkt.SrcPort, values.Int(9999)), syntax.Nothing(), syntax.Id()),
+				body,
+			)
+		}
+		guard := syntax.FieldEq(pkt.DstIP, apps.Subnet(1+i%ports))
+		members = append(members, syntax.Then(guard, body))
+	}
+	return syntax.Then(syntax.Par(members...), apps.AssignEgress(ports))
+}
+
+// TestDeltaVsColdFuzz: random base policies with random single-stage
+// edits, compiled through the delta path and the ColdPolicy oracle, must
+// agree on the diagram (structurally) and on packet-level behavior.
+func TestDeltaVsColdFuzz(t *testing.T) {
+	programs := 150
+	packetsPer := 12
+	if testing.Short() {
+		programs = 40
+	}
+	rng := rand.New(rand.NewSource(20160817))
+	net := line4Topo()
+	tm := traffic.Matrix{{1, 2}: 2, {2, 1}: 1}
+
+	compiled := 0
+	for i := 0; i < programs; i++ {
+		g := polygen.New(rng)
+		stages := g.Spine(2+rng.Intn(3), 1+rng.Intn(2))
+		oldP := syntax.Then(stages...)
+
+		edited := append([]syntax.Policy(nil), stages...)
+		edited[rng.Intn(len(edited))] = g.Policy(1 + rng.Intn(2))
+		newP := syntax.Then(edited...)
+
+		cold, err := core.ColdStart(oldP, net, tm, place.Options{Method: place.Heuristic})
+		if err != nil {
+			continue // statically rejected base (race/unsupported): fine
+		}
+		next, deltaErr := cold.PolicyChange(newP)
+		oracle, coldErr := cold.ColdPolicy(newP)
+		if (deltaErr == nil) != (coldErr == nil) {
+			t.Fatalf("program %d: delta err=%v cold err=%v\nold: %s\nnew: %s",
+				i, deltaErr, coldErr, oldP, newP)
+		}
+		if deltaErr != nil {
+			var race *xfdd.RaceError
+			var unsup *xfdd.UnsupportedError
+			if errors.As(deltaErr, &race) || errors.As(deltaErr, &unsup) {
+				continue
+			}
+			t.Fatalf("program %d: unexpected error %v", i, deltaErr)
+		}
+		compiled++
+
+		if !xfdd.StructuralEqual(next.Diagram, oracle.Diagram) {
+			t.Fatalf("program %d: delta and cold diagrams differ\nold: %s\nnew: %s",
+				i, oldP, newP)
+		}
+		// Behavioral spot-check: both diagrams process random packets on
+		// evolving stores identically.
+		sa, sb := state.NewStore(), state.NewStore()
+		for j := 0; j < packetsPer; j++ {
+			in := polygen.Packet(rng)
+			pa, na, errA := next.Diagram.Eval(sa, in)
+			pb, nb, errB := oracle.Diagram.Eval(sb, in)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("program %d packet %d: eval errors differ: %v vs %v", i, j, errA, errB)
+			}
+			if errA != nil {
+				break
+			}
+			if !samePackets(pa, pb) || !na.Equal(nb) {
+				t.Fatalf("program %d packet %d: behavior differs\nnew: %s", i, j, newP)
+			}
+			sa, sb = na, nb
+		}
+		// Both configs place every ordered variable and route every pair.
+		if len(next.Result.Placement) != len(oracle.Result.Placement) {
+			t.Fatalf("program %d: placement sizes differ: %d vs %d",
+				i, len(next.Result.Placement), len(oracle.Result.Placement))
+		}
+		for pair := range tm {
+			if _, ok := next.Result.Routes[pair]; !ok {
+				t.Fatalf("program %d: delta config missing route %v", i, pair)
+			}
+		}
+	}
+	if compiled == 0 {
+		t.Fatal("fuzz compiled nothing; generator or pipeline broken")
+	}
+}
+
+func line4Topo() *topo.Topology {
+	var links []topo.Link
+	for _, e := range [][2]topo.NodeID{{0, 1}, {1, 2}, {2, 3}} {
+		links = append(links,
+			topo.Link{From: e[0], To: e[1], Capacity: 10},
+			topo.Link{From: e[1], To: e[0], Capacity: 10})
+	}
+	return topo.MustNew("line4", 4, links, []topo.Port{
+		{ID: 1, Switch: 0},
+		{ID: 2, Switch: 3},
+	})
+}
+
+func samePackets(a, b []pkt.Packet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+	for _, p := range a {
+		found := false
+		for i, q := range b {
+			if !used[i] && p.Equal(q) {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -515,6 +515,13 @@ type PolicyReport struct {
 	Compile time.Duration
 	Times   core.PhaseTimes
 	Swap    time.Duration
+	// Delta describes how the recompilation reused prior work: the
+	// scenario it took (noop/delta/cold) and the per-phase reuse counters.
+	Delta *core.DeltaReport
+	// DirtySwitches lists the switches whose configuration actually
+	// changed in this edit (from the delta path's config diff; nil when
+	// the recompile fell back to the cold path without a report).
+	DirtySwitches []topo.NodeID
 }
 
 // ApplyPolicy hot-swaps a new policy onto the running deployment: the
@@ -538,13 +545,18 @@ func (c *Controller) ApplyPolicy(p syntax.Policy) (*PolicyReport, error) {
 	}
 	swap := time.Since(start)
 	c.comp = next
-	return &PolicyReport{
+	rep := &PolicyReport{
 		Epoch:   c.eng.Epoch(),
 		Plan:    plan,
 		Compile: next.Times.Total(),
 		Times:   next.Times,
 		Swap:    swap,
-	}, nil
+		Delta:   next.Delta,
+	}
+	if next.Delta != nil {
+		rep.DirtySwitches = next.Delta.DirtySwitches
+	}
+	return rep, nil
 }
 
 // Compilation returns the controller's current compilation (the lineage

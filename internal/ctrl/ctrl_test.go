@@ -356,3 +356,72 @@ func TestStepSanitizesDroppedDemand(t *testing.T) {
 		}
 	}
 }
+
+// TestApplyPolicyDeltaRotation: live policy edits ride the delta path end
+// to end. Rotating A -> B -> A preserves state at each swap, reports the
+// delta scenario with its reuse counters, and on the return to A — whose
+// diagram the translator memo resolves to the original root pointer — the
+// rule generator recompiles nothing and the engine's epoch gate re-links
+// no program images.
+func TestApplyPolicyDeltaRotation(t *testing.T) {
+	netw := topo.Campus(1000)
+	tm := traffic.Gravity(netw, 100, 1)
+	varA := syntax.Then(apps.Assumption(6), syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(6)))
+	varB := syntax.Then(apps.Assumption(6), syntax.Then(apps.DNSTunnelDetect(), syntax.Then(
+		syntax.Cond(syntax.FieldEq(pkt.SrcPort, values.Int(7777)), syntax.Nothing(), syntax.Id()),
+		apps.AssignEgress(6))))
+
+	comp, err := core.ColdStart(varA, netw, tm, place.Options{Method: place.Heuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := dataplane.NewEngine(comp.Config, dataplane.Options{Workers: 2})
+	defer eng.Close()
+	ctl := ctrl.New(comp, eng, ctrl.Options{})
+	if err := eng.InjectReplay(bench.ReplayIngress(tm.Replay(2000, 5))); err != nil {
+		t.Fatal(err)
+	}
+	_, linked0 := eng.LinkStats()
+
+	before := eng.GlobalState()
+	prB, err := ctl.ApplyPolicy(varB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prB.Delta == nil || prB.Delta.Scenario != "delta" {
+		t.Fatalf("edit A->B Delta = %+v, want delta scenario", prB.Delta)
+	}
+	if len(prB.Delta.DirtyVars) != 0 {
+		t.Fatalf("stateless edit dirtied vars %v", prB.Delta.DirtyVars)
+	}
+	if !eng.GlobalState().Equal(before) {
+		t.Fatal("edit A->B lost state across the swap")
+	}
+
+	prA, err := ctl.ApplyPolicy(varA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prA.Delta == nil || prA.Delta.Scenario != "delta" {
+		t.Fatalf("edit B->A Delta = %+v, want delta scenario", prA.Delta)
+	}
+	// Returning to A: the fragment memo yields the original diagram root,
+	// so every per-switch program is recalled, not recompiled …
+	if prA.Delta.CompiledPrograms != 0 || prA.Delta.ReusedPrograms == 0 {
+		t.Fatalf("edit B->A programs: compiled=%d reused=%d, want 0/>0",
+			prA.Delta.CompiledPrograms, prA.Delta.ReusedPrograms)
+	}
+	// … and the engine's cross-epoch link cache recalls every image: the
+	// swap back to A links nothing new.
+	reused, linked := eng.LinkStats()
+	if linked > linked0+int64(prB.Delta.CompiledPrograms) {
+		t.Fatalf("B->A swap linked new images: %d linked after, %d at start, %d compiled for B",
+			linked, linked0, prB.Delta.CompiledPrograms)
+	}
+	if reused == 0 {
+		t.Fatal("cross-epoch link cache never hit")
+	}
+	if !eng.GlobalState().Equal(before) {
+		t.Fatal("rotation lost state")
+	}
+}

@@ -56,17 +56,20 @@ func New(cfg *rules.Config) *Network {
 	return n
 }
 
+// linkKey identifies a distinct linkable image: rules shares one Program
+// across all switches with the same ownership set, so (program pointer,
+// ownership signature) is the image's identity within one variable space.
+type linkKey struct {
+	prog *netasm.Program
+	owns string
+}
+
 // linkPrograms links every switch's program against the configuration's
 // shared variable space, linking each distinct (program, ownership)
-// combination once — rules shares one Program across all switches with
-// the same ownership set, so a fleet of stateless switches links exactly
-// one image.
+// combination once — a fleet of stateless switches links exactly one
+// image.
 func linkPrograms(cfg *rules.Config) map[topo.NodeID]*netasm.Linked {
 	vs := cfg.VarSpace()
-	type linkKey struct {
-		prog *netasm.Program
-		owns string
-	}
 	cache := map[linkKey]*netasm.Linked{}
 	out := make(map[topo.NodeID]*netasm.Linked, len(cfg.Switches))
 	for id, sc := range cfg.Switches {

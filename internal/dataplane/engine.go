@@ -345,6 +345,19 @@ type Engine struct {
 	contMu   sync.Mutex
 	contHist map[string]VarContention
 
+	// Cross-epoch link cache, the data-plane half of delta compilation: a
+	// switch whose program pointer, ownership set and variable-name space
+	// survive a reconfiguration reuses its linked image at the epoch gate,
+	// so a hot swap re-links only the dirty switches' programs. The cache
+	// resets when the variable-name space changes (linked images bake in
+	// VarSpace ids, which are valid across epochs only for an identical
+	// name set). Mutated only under the gate (buildPlane callers); the
+	// counters are atomics so LinkStats can be read concurrently.
+	linkSig    string
+	linkCache  map[linkKey]*netasm.Linked
+	linkReused atomic.Int64
+	linkFresh  atomic.Int64
+
 	gate   *gate
 	quit   chan struct{}  // closed by Close; releases straggler sends
 	sendWg sync.WaitGroup // fallback-send goroutines
@@ -430,9 +443,50 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 // drawn from the engine's stripe pool, so successive plane epochs keep a
 // consistent variable→stripe mapping. Replication workers are NOT started
 // here — the caller starts them once the plane is committed.
+// linkProgramsCached is linkPrograms through the engine's cross-epoch
+// cache: distinct images already linked in a previous epoch (same program
+// pointer, ownership set and variable-name space) are reused, so a hot
+// swap pays link cost only for the switches the recompilation dirtied.
+func (e *Engine) linkProgramsCached(cfg *rules.Config) map[topo.NodeID]*netasm.Linked {
+	vs := cfg.VarSpace()
+	if sig := vs.Signature(); e.linkCache == nil || sig != e.linkSig {
+		e.linkCache = map[linkKey]*netasm.Linked{}
+		e.linkSig = sig
+	}
+	out := make(map[topo.NodeID]*netasm.Linked, len(cfg.Switches))
+	counted := map[linkKey]bool{}
+	for id, sc := range cfg.Switches {
+		k := linkKey{prog: sc.Prog, owns: rules.OwnsKey(sc.Owns)}
+		lp, hit := e.linkCache[k]
+		if !hit {
+			lp = netasm.Link(sc.Prog, vs, sc.Owns)
+			e.linkCache[k] = lp
+		}
+		if !counted[k] {
+			counted[k] = true
+			if hit {
+				e.linkReused.Add(1)
+			} else {
+				e.linkFresh.Add(1)
+			}
+		}
+		out[id] = lp
+	}
+	return out
+}
+
+// LinkStats reports the engine's lifetime link-cache accounting over
+// distinct program images: Reused images were recalled from a previous
+// epoch, Linked were compiled by netasm.Link. The first plane build is
+// all Linked; a policy edit whose programs survived (rules' generator
+// keeps them pointer-stable) shows up as Reused at the swap.
+func (e *Engine) LinkStats() (reused, linked int64) {
+	return e.linkReused.Load(), e.linkFresh.Load()
+}
+
 func (e *Engine) buildPlane(cfg *rules.Config, rep *replicator) *plane {
 	p := &plane{cfg: cfg, maxFork: 1}
-	linked := linkPrograms(cfg)
+	linked := e.linkProgramsCached(cfg)
 	p.diags = collectDiags(linked)
 	for _, lp := range linked {
 		if f := lp.MaxFork(); f > p.maxFork {

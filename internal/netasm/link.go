@@ -29,6 +29,7 @@ package netasm
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"snap/internal/pkt"
 	"snap/internal/syntax"
@@ -89,6 +90,17 @@ func (vs *VarSpace) Len() int {
 		return 0
 	}
 	return len(vs.names)
+}
+
+// Signature canonically identifies the space's name set. Two spaces with
+// equal signatures assign identical ids (ids are by sorted name), so a
+// program linked against one is valid against the other — the fact the
+// engine's cross-epoch link cache relies on.
+func (vs *VarSpace) Signature() string {
+	if vs == nil {
+		return ""
+	}
+	return strings.Join(vs.names, "\x00")
 }
 
 // exOp is one step of a flat index extractor: a constant or a packet

@@ -63,6 +63,10 @@ type Result struct {
 	Congestion float64 // Σ_links load/capacity (the paper's objective)
 	MaxUtil    float64
 	Method     string
+	// PinnedGroups and MovedGroups report how a warm-started solve split
+	// the tied-variable groups (see SolveSTWarm); zero on full solves.
+	PinnedGroups int
+	MovedGroups  int
 }
 
 // Method selects the solve engine.
@@ -505,13 +509,32 @@ func solveHeuristicModel(m *Model, in Inputs, fixed map[string]topo.NodeID) (*Re
 	}, nil
 }
 
+// indicesOf resolves a subset selector: nil means every group index.
+func indicesOf(groups []*group, only []int) []int {
+	if only != nil {
+		return only
+	}
+	all := make([]int, len(groups))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
 // seedPlacement puts each group at its demand-weighted 1-median: the switch
 // minimizing Σ duv·(d(su,n)+d(n,sv)) over the pairs needing it.
 func (s *solver) seedPlacement(groups []*group, loc map[string]topo.NodeID) {
+	s.seedPlacementOf(groups, loc, nil)
+}
+
+// seedPlacementOf seeds only the groups whose indices appear in `only`
+// (nil means all) — the warm-start path seeds just the dirty groups.
+func (s *solver) seedPlacementOf(groups []*group, loc map[string]topo.NodeID, only []int) {
 	if s.pinfos == nil {
 		s.indexPairs(groups)
 	}
-	for gi, g := range groups {
+	for _, gi := range indicesOf(groups, only) {
+		g := groups[gi]
 		bestN, bestC := topo.NodeID(-1), math.Inf(1)
 		for n := 0; n < s.in.Topo.Switches; n++ {
 			if !s.in.Topo.Up(topo.NodeID(n)) {
@@ -539,12 +562,20 @@ func (s *solver) seedPlacement(groups []*group, loc map[string]topo.NodeID) {
 // improvePlacement hill-climbs group locations against the exact
 // waypoint-ordered path cost.
 func (s *solver) improvePlacement(groups []*group, loc map[string]topo.NodeID) {
+	s.improvePlacementOf(groups, loc, nil)
+}
+
+// improvePlacementOf hill-climbs only the groups whose indices appear in
+// `only` (nil means all). Pinned groups still contribute to the cost
+// terms through glocs; they just never move.
+func (s *solver) improvePlacementOf(groups []*group, loc map[string]topo.NodeID, only []int) {
 	if s.pinfos == nil {
 		s.indexPairs(groups)
 	}
 	for iter := 0; iter < s.opts.LocalIters; iter++ {
 		improved := false
-		for gi, g := range groups {
+		for _, gi := range indicesOf(groups, only) {
+			g := groups[gi]
 			bestN, bestC := g.node, s.groupCost(gi)
 			for n := 0; n < s.in.Topo.Switches; n++ {
 				if topo.NodeID(n) == g.node || !s.in.Topo.Up(topo.NodeID(n)) {

@@ -1,0 +1,70 @@
+// Builder: packet-state mapping with cross-build memoization for the
+// delta compilation path. A mapping is a pure function of (diagram root,
+// OBS ports); hash-consed roots make pointer identity structural
+// identity, so an edit that cycles back to a previously seen diagram
+// (e.g. rotating policy variants) resolves to its cached mapping without
+// a walk, and the per-leaf fact cache is shared across builds because
+// edited diagrams overwhelmingly reuse the old diagram's leaves.
+package psmap
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"snap/internal/xfdd"
+)
+
+// Builder memoizes packet-state mapping builds. Not safe for concurrent
+// use; the compiler drives it from one goroutine.
+type Builder struct {
+	buckets map[string]*builderBucket
+}
+
+// builderBucket holds the caches for one OBS port set.
+type builderBucket struct {
+	ports    []int
+	leafInfo map[*xfdd.Diagram][]leafEntry
+	results  map[*xfdd.Diagram]*Mapping
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{buckets: map[string]*builderBucket{}}
+}
+
+// Build computes (or recalls) the packet-state mapping of d over ports.
+// The returned Mapping is shared with the cache: callers must treat it as
+// immutable, which every downstream consumer already does.
+func (bl *Builder) Build(d *xfdd.Diagram, ports []int) *Mapping {
+	sorted := append([]int(nil), ports...)
+	sort.Ints(sorted)
+	var sb strings.Builder
+	for _, p := range sorted {
+		sb.WriteString(strconv.Itoa(p))
+		sb.WriteByte(',')
+	}
+	key := sb.String()
+
+	bk := bl.buckets[key]
+	if bk == nil {
+		bk = &builderBucket{
+			ports:    sorted,
+			leafInfo: map[*xfdd.Diagram][]leafEntry{},
+			results:  map[*xfdd.Diagram]*Mapping{},
+		}
+		bl.buckets[key] = bk
+	}
+	if m, ok := bk.results[d]; ok {
+		return m
+	}
+
+	m := &Mapping{
+		Vars: map[[2]int]map[string]bool{},
+		All:  map[string]bool{},
+	}
+	b := &builder{m: m, allPorts: bk.ports, leafInfo: bk.leafInfo}
+	b.walk(d, newPortSet(bk.ports), nil)
+	bk.results[d] = m
+	return m
+}

@@ -1,0 +1,111 @@
+package rules_test
+
+import (
+	"testing"
+
+	"snap/internal/apps"
+	"snap/internal/place"
+	"snap/internal/psmap"
+	"snap/internal/rules"
+	"snap/internal/syntax"
+	"snap/internal/topo"
+	"snap/internal/traffic"
+	"snap/internal/xfdd"
+)
+
+func solveFor(t *testing.T, p syntax.Policy, net *topo.Topology) (*xfdd.Diagram, *place.Result) {
+	t.Helper()
+	d, order, err := xfdd.Translate(p)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	in := place.Inputs{
+		Topo:    net,
+		Demands: traffic.Gravity(net, 100, 1),
+		Mapping: psmap.Build(d, net.PortIDs()),
+		Order:   order,
+	}
+	res, err := place.Solve(in, place.Options{Method: place.Heuristic})
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	return d, res
+}
+
+// TestGeneratorReusesPrograms: regenerating with the same diagram keeps
+// programs pointer-stable, so DiffSwitches reports nothing dirty.
+func TestGeneratorReusesPrograms(t *testing.T) {
+	net := topo.Campus(1000)
+	p := syntax.Then(apps.Assumption(6), syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(6)))
+	d, res := solveFor(t, p, net)
+
+	g := rules.NewGenerator()
+	cfg1, err := g.Generate(d, net, res.Placement, nil, res.Routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CompiledPrograms == 0 {
+		t.Fatal("first generation compiled nothing")
+	}
+	cfg2, err := g.Generate(d, net, res.Placement, nil, res.Routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CompiledPrograms != 0 {
+		t.Fatalf("second generation recompiled %d programs", g.CompiledPrograms)
+	}
+	if g.ReusedPrograms == 0 {
+		t.Fatal("second generation reused nothing")
+	}
+	for n, sc := range cfg1.Switches {
+		if cfg2.Switches[n].Prog != sc.Prog {
+			t.Fatalf("switch %d program not pointer-stable", n)
+		}
+	}
+	if dirty := rules.DiffSwitches(cfg1, cfg2); len(dirty) != 0 {
+		t.Fatalf("identical configs diff as dirty: %v", dirty)
+	}
+}
+
+// TestDiffSwitchesDetectsMove: moving one variable dirties exactly the
+// switches whose programs or routes changed — and at minimum the old and
+// new owner.
+func TestDiffSwitchesDetectsMove(t *testing.T) {
+	net := topo.Campus(1000)
+	p := syntax.Then(apps.Assumption(6), syntax.Then(apps.DNSTunnelDetect(), apps.AssignEgress(6)))
+	d, res := solveFor(t, p, net)
+
+	g := rules.NewGenerator()
+	cfg1, err := g.Generate(d, net, res.Placement, nil, res.Routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Move every placed variable to a different switch.
+	moved := map[string]topo.NodeID{}
+	var oldOwner, newOwner topo.NodeID
+	for v, n := range res.Placement {
+		oldOwner = n
+		newOwner = topo.NodeID((int(n) + 1) % net.Switches)
+		moved[v] = newOwner
+	}
+	cfg2, err := g.Generate(d, net, moved, nil, res.Routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := rules.DiffSwitches(cfg1, cfg2)
+	if len(dirty) == 0 {
+		t.Fatal("ownership move produced no dirty switches")
+	}
+	has := func(n topo.NodeID) bool {
+		for _, id := range dirty {
+			if id == n {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(oldOwner) || !has(newOwner) {
+		t.Fatalf("dirty set %v misses old owner %d or new owner %d", dirty, oldOwner, newOwner)
+	}
+}

@@ -130,98 +130,13 @@ func Generate(d *xfdd.Diagram, t *topo.Topology, placement map[string]topo.NodeI
 // promotes. A replica entry for an unplaced variable is an error, as is a
 // backup equal to the primary.
 func GenerateReplicated(d *xfdd.Diagram, t *topo.Topology, placement map[string]topo.NodeID, replicas map[string][]topo.NodeID, routes map[[2]int]place.Route) (*Config, error) {
-	ids, count := numberNodes(d)
-
-	for v, rs := range replicas {
-		owner, ok := placement[v]
-		if !ok {
-			return nil, fmt.Errorf("rules: replica assignment for unplaced state variable %s", v)
-		}
-		for _, r := range rs {
-			if r == owner {
-				return nil, fmt.Errorf("rules: state variable %s replicated onto its own primary switch %d", v, owner)
-			}
-			if int(r) < 0 || int(r) >= t.Switches {
-				return nil, fmt.Errorf("rules: state variable %s replicated onto unknown switch %d", v, r)
-			}
-		}
-	}
-
-	cfg := &Config{
-		Topo:      t,
-		Diagram:   d,
-		RootID:    ids[d],
-		NodeCount: count,
-		Placement: placement,
-		Replicas:  replicas,
-		Switches:  map[topo.NodeID]*SwitchConfig{},
-	}
-
-	spNext := allPairsNextHop(t)
-
+	// One-shot generation is a fresh Generator whose caches are discarded.
 	// Switches owning the same state-variable set compile to the same
 	// NetASM program (programs are immutable at runtime; state lives in the
 	// per-switch tables). With hash-consed diagrams most switches own no
 	// state at all, so the whole fleet shares a single stateless program
 	// compiled once.
-	type compiledProg struct {
-		prog  *netasm.Program
-		stats SwitchStats
-	}
-	progCache := map[string]compiledProg{}
-
-	for n := 0; n < t.Switches; n++ {
-		node := topo.NodeID(n)
-		owns := map[string]bool{}
-		for v, at := range placement {
-			if at == node {
-				owns[v] = true
-			}
-		}
-		sc := &SwitchConfig{
-			Node:      node,
-			Owns:      owns,
-			RouteNext: map[[2]int]int{},
-			SPNext:    spNext[n],
-		}
-		ck := OwnsKey(owns)
-		cp, ok := progCache[ck]
-		if !ok {
-			prog, stats, err := compileProgram(d, ids, owns)
-			if err != nil {
-				return nil, err
-			}
-			cp = compiledProg{prog: prog, stats: stats}
-			progCache[ck] = cp
-		}
-		sc.Prog = cp.prog
-		sc.Stats = cp.stats
-		cfg.Switches[node] = sc
-	}
-
-	for _, p := range t.Ports {
-		sc := cfg.Switches[p.Switch]
-		sc.LocalPorts = append(sc.LocalPorts, p.ID)
-	}
-	for _, sc := range cfg.Switches {
-		sort.Ints(sc.LocalPorts)
-	}
-
-	// Install path match-action entries along each optimizer route. When a
-	// route revisits a switch (waypoint ordering can force that), the last
-	// occurrence wins: following last-occurrence entries always makes
-	// progress toward the route's egress.
-	for pair, r := range routes {
-		for _, li := range r.Links {
-			from := t.Links[li].From
-			sc := cfg.Switches[from]
-			if _, dup := sc.RouteNext[pair]; !dup {
-				sc.Stats.ForwardRules++
-			}
-			sc.RouteNext[pair] = li
-		}
-	}
-	return cfg, nil
+	return NewGenerator().Generate(d, t, placement, replicas, routes)
 }
 
 // OwnsKey is the canonical signature of an ownership set (sorted

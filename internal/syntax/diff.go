@@ -1,0 +1,163 @@
+// The policy differ: decomposes two policies along their composition
+// spine and classifies each fragment, so the delta compiler knows which
+// subprograms survived an edit verbatim and which state variables an edit
+// can possibly have touched.
+//
+// The decomposition mirrors how operators write SNAP programs: a policy is
+// a `>>` (Seq) spine of `+` (Parallel) stages. Seq spines are flattened
+// and aligned by the longest common prefix and suffix of structurally
+// equal fragments; Parallel stages are flattened and matched as multisets
+// by hash (order within a parallel composition is semantically irrelevant
+// for matching — an operand that moved position is still unchanged).
+// Anything below a changed fragment is treated as part of that fragment.
+package syntax
+
+// Diff is the outcome of comparing an old and a new policy.
+type Diff struct {
+	// Identical reports a structurally equal edit (a no-op).
+	Identical bool
+	// Unchanged lists maximal fragments present verbatim in both
+	// policies, as aligned by the composition-spine decomposition.
+	Unchanged []Policy
+	// Removed lists old-policy fragments with no structural match in the
+	// new policy; Added lists new-policy fragments with no match in the
+	// old one. A modified fragment appears in both lists (its old form
+	// under Removed, its new form under Added) — the delta consumers care
+	// about the union of their state variables, not the pairing.
+	Removed []Policy
+	Added   []Policy
+}
+
+// Changed returns every fragment that did not survive the edit, old and
+// new forms together. The union of their state variables is the dirty-set
+// bound the delta compiler relies on: a variable mentioned by no changed
+// fragment has exactly the same occurrences in both policies.
+func (d *Diff) Changed() []Policy {
+	out := make([]Policy, 0, len(d.Removed)+len(d.Added))
+	out = append(out, d.Removed...)
+	return append(out, d.Added...)
+}
+
+// DiffPolicies decomposes old and new along their shared composition
+// spine and classifies the fragments. It never misclassifies a changed
+// fragment as unchanged (fragments are confirmed with Equal, not just by
+// hash); it may conservatively report a fragment as changed when a
+// cleverer alignment would have matched it.
+func DiffPolicies(old, new Policy) *Diff {
+	d := &Diff{}
+	if Equal(old, new) {
+		d.Identical = true
+		d.Unchanged = []Policy{old}
+		return d
+	}
+	diffSeq(old, new, d)
+	return d
+}
+
+// flattenSeq unrolls a Seq spine into its stages, left to right.
+func flattenSeq(p Policy, out []Policy) []Policy {
+	if s, ok := p.(Seq); ok {
+		return flattenSeq(s.Q, flattenSeq(s.P, out))
+	}
+	return append(out, p)
+}
+
+// flattenPar unrolls a Parallel composition into its operands.
+func flattenPar(p Policy, out []Policy) []Policy {
+	if s, ok := p.(Parallel); ok {
+		return flattenPar(s.Q, flattenPar(s.P, out))
+	}
+	return append(out, p)
+}
+
+// diffSeq aligns two Seq spines by their common prefix and suffix of
+// equal stages; the middle is matched pairwise (same position) and
+// recursed into when both sides are Parallel compositions.
+func diffSeq(old, new Policy, d *Diff) {
+	os := flattenSeq(old, nil)
+	ns := flattenSeq(new, nil)
+
+	// Common prefix.
+	pre := 0
+	for pre < len(os) && pre < len(ns) && Equal(os[pre], ns[pre]) {
+		d.Unchanged = append(d.Unchanged, os[pre])
+		pre++
+	}
+	// Common suffix (not overlapping the prefix).
+	suf := 0
+	for suf < len(os)-pre && suf < len(ns)-pre &&
+		Equal(os[len(os)-1-suf], ns[len(ns)-1-suf]) {
+		d.Unchanged = append(d.Unchanged, os[len(os)-1-suf])
+		suf++
+	}
+
+	om := os[pre : len(os)-suf]
+	nm := ns[pre : len(ns)-suf]
+
+	// Middle: align by position while both sides have stages; leftovers
+	// are pure additions/removals.
+	n := len(om)
+	if len(nm) < n {
+		n = len(nm)
+	}
+	for i := 0; i < n; i++ {
+		diffStage(om[i], nm[i], d)
+	}
+	for _, p := range om[n:] {
+		d.Removed = append(d.Removed, p)
+	}
+	for _, p := range nm[n:] {
+		d.Added = append(d.Added, p)
+	}
+}
+
+// diffStage compares one aligned pair of Seq stages. Parallel stages are
+// matched as hash multisets, so reordering or editing one operand of a
+// wide `+` composition dirties only that operand.
+func diffStage(old, new Policy, d *Diff) {
+	if Equal(old, new) {
+		d.Unchanged = append(d.Unchanged, old)
+		return
+	}
+	_, oPar := old.(Parallel)
+	_, nPar := new.(Parallel)
+	if !oPar && !nPar {
+		d.Removed = append(d.Removed, old)
+		d.Added = append(d.Added, new)
+		return
+	}
+
+	op := flattenPar(old, nil)
+	np := flattenPar(new, nil)
+	// Multiset match by hash, confirmed by Equal (hash buckets may hold
+	// structurally distinct operands; collisions fall through to changed).
+	buckets := map[uint64][]int{} // hash → unmatched old indices
+	for i, p := range op {
+		h := Hash(p)
+		buckets[h] = append(buckets[h], i)
+	}
+	matched := make([]bool, len(op))
+	for _, q := range np {
+		h := Hash(q)
+		found := false
+		rest := buckets[h][:0]
+		for _, i := range buckets[h] {
+			if !found && !matched[i] && Equal(op[i], q) {
+				matched[i] = true
+				found = true
+				d.Unchanged = append(d.Unchanged, q)
+				continue
+			}
+			rest = append(rest, i)
+		}
+		buckets[h] = rest
+		if !found {
+			d.Added = append(d.Added, q)
+		}
+	}
+	for i, p := range op {
+		if !matched[i] {
+			d.Removed = append(d.Removed, p)
+		}
+	}
+}

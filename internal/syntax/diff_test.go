@@ -1,0 +1,101 @@
+package syntax
+
+import (
+	"testing"
+
+	"snap/internal/pkt"
+	"snap/internal/values"
+)
+
+// frag builds a distinct little stateful fragment parameterised by n.
+func frag(n int64) Policy {
+	return Cond(
+		FieldEq(pkt.SrcPort, values.Int(n)),
+		WriteState("v", Vec(F(pkt.SrcIP)), V(values.Int(n))),
+		Id(),
+	)
+}
+
+func TestHashEqualAgree(t *testing.T) {
+	ps := []Policy{
+		Id(), Nothing(),
+		frag(1), frag(2),
+		Then(frag(1), frag(2)),
+		Then(frag(2), frag(1)),
+		Par(frag(1), frag(2)),
+		Transaction(Then(frag(1), IncrState("c", Vec(F(pkt.DstIP))))),
+		Cond(Conj(FieldEq(pkt.SrcPort, values.Int(53)), TestState("seen", Vec(F(pkt.SrcIP)), V(values.Int(1)))),
+			Assign(pkt.DstPort, values.Int(9)), Nothing()),
+	}
+	for i, p := range ps {
+		for j, q := range ps {
+			eq := Equal(p, q)
+			if (i == j) != eq {
+				t.Fatalf("Equal(%v, %v) = %v, want %v", p, q, eq, i == j)
+			}
+			if eq && Hash(p) != Hash(q) {
+				t.Fatalf("equal policies hash differently: %v", p)
+			}
+			if !eq && Hash(p) == Hash(q) {
+				t.Fatalf("distinct policies collide: %v vs %v", p, q)
+			}
+		}
+	}
+	// Rebuilding the same AST from scratch must hash and compare equal.
+	if !Equal(frag(7), frag(7)) || Hash(frag(7)) != Hash(frag(7)) {
+		t.Fatal("structurally rebuilt policy not recognised as equal")
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	p := Then(frag(1), frag(2), frag(3))
+	d := DiffPolicies(p, Then(frag(1), frag(2), frag(3)))
+	if !d.Identical || len(d.Changed()) != 0 {
+		t.Fatalf("no-op edit not detected: %+v", d)
+	}
+}
+
+func TestDiffSeqSpine(t *testing.T) {
+	old := Then(frag(1), frag(2), frag(3), frag(4))
+	new := Then(frag(1), frag(2), frag(9), frag(4))
+	d := DiffPolicies(old, new)
+	if d.Identical {
+		t.Fatal("edit reported as identical")
+	}
+	if len(d.Removed) != 1 || !Equal(d.Removed[0], frag(3)) {
+		t.Fatalf("Removed = %v, want [frag(3)]", d.Removed)
+	}
+	if len(d.Added) != 1 || !Equal(d.Added[0], frag(9)) {
+		t.Fatalf("Added = %v, want [frag(9)]", d.Added)
+	}
+	if len(d.Unchanged) != 3 {
+		t.Fatalf("Unchanged = %v, want the other three stages", d.Unchanged)
+	}
+}
+
+func TestDiffSeqInsertRemove(t *testing.T) {
+	old := Then(frag(1), frag(2))
+	new := Then(frag(1), frag(5), frag(2))
+	d := DiffPolicies(old, new)
+	if len(d.Removed) != 0 || len(d.Added) != 1 || !Equal(d.Added[0], frag(5)) {
+		t.Fatalf("insert: Removed=%v Added=%v", d.Removed, d.Added)
+	}
+	d = DiffPolicies(new, old)
+	if len(d.Added) != 0 || len(d.Removed) != 1 || !Equal(d.Removed[0], frag(5)) {
+		t.Fatalf("remove: Removed=%v Added=%v", d.Removed, d.Added)
+	}
+}
+
+func TestDiffParallelMultiset(t *testing.T) {
+	// Edit one operand of a wide + stage; reorder the rest. Only the edited
+	// operand may be dirty.
+	old := Then(frag(0), Par(frag(1), frag(2), frag(3)), frag(9))
+	new := Then(frag(0), Par(frag(3), frag(8), frag(1)), frag(9))
+	d := DiffPolicies(old, new)
+	if len(d.Removed) != 1 || !Equal(d.Removed[0], frag(2)) {
+		t.Fatalf("Removed = %v, want [frag(2)]", d.Removed)
+	}
+	if len(d.Added) != 1 || !Equal(d.Added[0], frag(8)) {
+		t.Fatalf("Added = %v, want [frag(8)]", d.Added)
+	}
+}

@@ -20,6 +20,11 @@ type Translator struct {
 	// ablation baseline showing what the Figure 8 contexts buy (larger
 	// diagrams and spurious race reports on guarded parallel writes).
 	noPrune bool
+	// memo maps structural policy hashes to previously translated
+	// fragments (see delta.go). Valid for the translator's lifetime: the
+	// diagram for a policy depends only on the policy and the test order,
+	// both fixed here.
+	memo map[uint64][]memoEntry
 }
 
 // NewTranslator builds a translator using the dependency order of state

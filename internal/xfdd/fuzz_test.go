@@ -5,130 +5,14 @@ import (
 	"math/rand"
 	"testing"
 
-	"snap/internal/deps"
 	"snap/internal/pkt"
+	"snap/internal/polygen"
 	"snap/internal/semantics"
 	"snap/internal/state"
-	"snap/internal/syntax"
-	"snap/internal/values"
 	"snap/internal/xfdd"
 )
 
-// The fuzz domain is deliberately tiny so random programs collide on
-// fields, state variables and indices, exercising the context-inference
-// and composition corner cases.
-var (
-	fuzzFields = []pkt.Field{pkt.SrcPort, pkt.DstPort, pkt.Inport}
-	fuzzVals   = []values.Value{values.Int(1), values.Int(2), values.Bool(true)}
-	fuzzVars   = []string{"s", "t"}
-)
-
-type gen struct{ rng *rand.Rand }
-
-func (g *gen) value() values.Value { return fuzzVals[g.rng.Intn(len(fuzzVals))] }
-func (g *gen) field() pkt.Field    { return fuzzFields[g.rng.Intn(len(fuzzFields))] }
-func (g *gen) stateVar() string    { return fuzzVars[g.rng.Intn(len(fuzzVars))] }
-func (g *gen) expr() syntax.Expr {
-	if g.rng.Intn(2) == 0 {
-		return syntax.V(g.value())
-	}
-	return syntax.F(g.field())
-}
-
-func (g *gen) pred(depth int) syntax.Pred {
-	if depth <= 0 {
-		switch g.rng.Intn(4) {
-		case 0:
-			return syntax.Id()
-		case 1:
-			return syntax.Nothing()
-		case 2:
-			return syntax.FieldEq(g.field(), g.value())
-		default:
-			return syntax.TestState(g.stateVar(), g.expr(), g.expr())
-		}
-	}
-	switch g.rng.Intn(4) {
-	case 0:
-		return syntax.Neg(g.pred(depth - 1))
-	case 1:
-		return syntax.Or{X: g.pred(depth - 1), Y: g.pred(depth - 1)}
-	case 2:
-		return syntax.And{X: g.pred(depth - 1), Y: g.pred(depth - 1)}
-	default:
-		return g.pred(0)
-	}
-}
-
-func (g *gen) policy(depth int) syntax.Policy {
-	if depth <= 0 {
-		switch g.rng.Intn(6) {
-		case 0:
-			return g.pred(0)
-		case 1:
-			return syntax.Assign(g.field(), g.value())
-		case 2:
-			return syntax.WriteState(g.stateVar(), g.expr(), g.expr())
-		case 3:
-			return syntax.IncrState(g.stateVar(), g.expr())
-		case 4:
-			return syntax.DecrState(g.stateVar(), g.expr())
-		default:
-			return syntax.Assign(pkt.Outport, g.value())
-		}
-	}
-	switch g.rng.Intn(5) {
-	case 0:
-		return syntax.Seq{P: g.policy(depth - 1), Q: g.policy(depth - 1)}
-	case 1:
-		return g.safePar(depth - 1)
-	case 2:
-		return syntax.If{Cond: g.pred(depth - 1), Then: g.policy(depth - 1), Else: g.policy(depth - 1)}
-	case 3:
-		return syntax.Atomic{P: g.policy(depth - 1)}
-	default:
-		return g.policy(0)
-	}
-}
-
-// safePar generates parallel compositions whose operands do not share any
-// variable between one side's reads/writes and the other's writes: the
-// formal semantics leaves such compositions undefined (⊥), so they are not
-// equivalence-testable.
-func (g *gen) safePar(depth int) syntax.Policy {
-	for tries := 0; tries < 10; tries++ {
-		p := g.policy(depth)
-		q := g.policy(depth)
-		if parSafe(p, q) {
-			return syntax.Parallel{P: p, Q: q}
-		}
-	}
-	return g.policy(depth)
-}
-
-func parSafe(p, q syntax.Policy) bool {
-	wp, wq := deps.WriteSet(p), deps.WriteSet(q)
-	rp, rq := deps.ReadSet(p), deps.ReadSet(q)
-	for v := range wp {
-		if wq[v] || rq[v] {
-			return false
-		}
-	}
-	for v := range wq {
-		if rp[v] {
-			return false
-		}
-	}
-	return true
-}
-
-func fuzzPacket(rng *rand.Rand) pkt.Packet {
-	return pkt.New(map[pkt.Field]values.Value{
-		pkt.SrcPort: values.Int(int64(1 + rng.Intn(2))),
-		pkt.DstPort: values.Int(int64(1 + rng.Intn(2))),
-		pkt.Inport:  values.Int(int64(1 + rng.Intn(2))),
-	})
-}
+func fuzzPacket(rng *rand.Rand) pkt.Packet { return polygen.Packet(rng) }
 
 // TestFuzzEquivalence generates hundreds of random stateful programs and
 // checks, packet by packet on a shared evolving store, that the xFDD
@@ -141,8 +25,8 @@ func TestFuzzEquivalence(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(20160822))
 	for i := 0; i < programs; i++ {
-		g := &gen{rng: rng}
-		p := g.policy(1 + rng.Intn(3))
+		g := polygen.New(rng)
+		p := g.Policy(1 + rng.Intn(3))
 
 		d, _, err := xfdd.Translate(p)
 		if err != nil {
@@ -191,8 +75,8 @@ func TestFuzzEquivalence(t *testing.T) {
 func TestFuzzOrderInvariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 200; i++ {
-		g := &gen{rng: rng}
-		p := g.policy(1 + rng.Intn(3))
+		g := polygen.New(rng)
+		p := g.Policy(1 + rng.Intn(3))
 		d, order, err := xfdd.Translate(p)
 		if err != nil {
 			continue
