@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"snap/internal/bench"
+	"snap/internal/telemetry"
 )
 
 // report is the machine-readable counterpart of the printed tables.
@@ -38,7 +39,21 @@ func main() {
 	scaleName := flag.String("scale", "ci", "scale preset: ci|full")
 	cpu := flag.Int("cpu", 0, "GOMAXPROCS for the throughput and scale experiments (0 = host default); 1-core rows are always emitted alongside")
 	jsonPath := flag.String("json", "", "also write the collected rows as JSON to this file (e.g. BENCH.json)")
+	telemetryAddr := flag.String("telemetry", "", "serve process metrics and /debug/pprof on this address while the experiments run")
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		// The experiments build their engines internally, so this registry
+		// carries only process-level series — its value is the pprof
+		// endpoint for profiling a long bench run.
+		srv, err := telemetry.Serve(*telemetryAddr, telemetry.NewRegistry())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: %s/debug/pprof/\n", srv.URL())
+	}
 
 	scale := bench.CI
 	if *scaleName == "full" {

@@ -21,19 +21,21 @@ type chaosOptions struct {
 	short       bool
 	workers     int
 	verbose     bool
+	telemetry   string
 }
 
 func runChaos(co chaosOptions) {
 	o := chaos.Options{
-		Seed:        co.seed,
-		Topology:    co.topo,
-		Packets:     co.packets,
-		Chunk:       co.chunk,
-		Workers:     co.workers,
-		Replication: co.replication,
-		Replicas:    co.k,
-		Log:         os.Stdout,
-		Verbose:     co.verbose,
+		Seed:          co.seed,
+		Topology:      co.topo,
+		Packets:       co.packets,
+		Chunk:         co.chunk,
+		Workers:       co.workers,
+		Replication:   co.replication,
+		Replicas:      co.k,
+		Log:           os.Stdout,
+		Verbose:       co.verbose,
+		TelemetryAddr: co.telemetry,
 	}
 	if co.short {
 		// The CI smoke configuration: same schedule shape (10 chunks, one

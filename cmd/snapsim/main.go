@@ -64,6 +64,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -75,6 +76,60 @@ import (
 
 	"snap"
 )
+
+// obsFlags bundles the observability flags shared by the engine-backed
+// modes (-load, -drift, -kill; -chaos wires the address through its own
+// harness): the live telemetry endpoint, how long to keep it up after the
+// replay, the final-snapshot JSON path, and the packet-trace sampling
+// rate.
+type obsFlags struct {
+	addr      string
+	hold      time.Duration
+	statsJSON string
+	sample    int
+}
+
+func (o obsFlags) engineOptions(base snap.EngineOptions) snap.EngineOptions {
+	base.TraceSampling = o.sample
+	return base
+}
+
+// serve starts the -telemetry listener over an engine's registry. The
+// returned stop function holds the endpoint open for -telemetry-hold — so
+// CI or a human can scrape a finished run — and then shuts it down.
+func (o obsFlags) serve(reg *snap.TelemetryRegistry) func() {
+	if o.addr == "" {
+		return func() {}
+	}
+	srv, err := snap.ServeTelemetry(o.addr, reg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("telemetry: %s/metrics\n", srv.URL())
+	return func() {
+		if o.hold > 0 {
+			fmt.Printf("telemetry: holding %s for %s\n", srv.URL(), o.hold)
+			time.Sleep(o.hold)
+		}
+		srv.Close()
+	}
+}
+
+// dump writes the final registry snapshot to -stats-json.
+func (o obsFlags) dump(reg *snap.TelemetryRegistry) {
+	if o.statsJSON == "" {
+		return
+	}
+	data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		fail(fmt.Errorf("stats-json: %w", err))
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(o.statsJSON, data, 0o644); err != nil {
+		fail(fmt.Errorf("stats-json: %w", err))
+	}
+	fmt.Printf("wrote %s\n", o.statsJSON)
+}
 
 func main() {
 	appName := flag.String("app", "dns-tunnel-detect", "catalogued application to run")
@@ -96,7 +151,13 @@ func main() {
 	chaosK := flag.Int("k", 1, "chaos soak state replication factor")
 	chaosRepl := flag.Bool("replication", false, "chaos soak: request the state-compute replication discipline")
 	chaosShort := flag.Bool("short", false, "chaos soak: reduced-length smoke run (3000 packets, chunk 300)")
+	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. :9090) for the run")
+	telemetryHold := flag.Duration("telemetry-hold", 0, "keep the -telemetry endpoint up this long after the replay finishes (engine modes)")
+	statsJSON := flag.String("stats-json", "", "write the final telemetry snapshot as JSON to this file (engine modes)")
+	traceSample := flag.Int("trace-sample", 0, "record every Nth injected packet's hop-by-hop trace (0 = off; engine modes)")
 	flag.Parse()
+
+	obs := obsFlags{addr: *telemetryAddr, hold: *telemetryHold, statsJSON: *statsJSON, sample: *traceSample}
 
 	if *chaosMode {
 		// -packets doubles as the soak length, but its per-packet-mode
@@ -111,7 +172,7 @@ func main() {
 		runChaos(chaosOptions{
 			seed: *seed, topo: *chaosTopo, packets: chaosPackets, chunk: *chaosChunk,
 			k: *chaosK, replication: *chaosRepl, short: *chaosShort, workers: *workers,
-			verbose: *verbose,
+			verbose: *verbose, telemetry: *telemetryAddr,
 		})
 		return
 	}
@@ -158,7 +219,7 @@ func main() {
 		if n <= 0 {
 			n = 20000
 		}
-		runKill(dep, t, tm, *kill, *replicas, n, *seed, *workers, *switchWorkers, *window)
+		runKill(dep, t, tm, *kill, *replicas, n, *seed, *workers, *switchWorkers, *window, obs)
 		return
 	}
 	if *drift {
@@ -166,11 +227,11 @@ func main() {
 		if n <= 0 {
 			n = 20000
 		}
-		runDrift(dep, t, tm, shards, n, *seed, *workers, *switchWorkers, *window)
+		runDrift(dep, t, tm, shards, n, *seed, *workers, *switchWorkers, *window, obs)
 		return
 	}
 	if *load > 0 {
-		runLoad(dep, tm, *load, *seed, *workers, *switchWorkers, *window, *replicate)
+		runLoad(dep, tm, *load, *seed, *workers, *switchWorkers, *window, *replicate, obs)
 		return
 	}
 
@@ -212,7 +273,7 @@ func main() {
 
 // runLoad replays a matrix-drawn trace through the concurrent engine and
 // reports throughput plus each switch's share of the work.
-func runLoad(dep *snap.Deployment, tm snap.TrafficMatrix, n int, seed int64, workers, switchWorkers, window int, replicate bool) {
+func runLoad(dep *snap.Deployment, tm snap.TrafficMatrix, n int, seed int64, workers, switchWorkers, window int, replicate bool, obs obsFlags) {
 	rng := rand.New(rand.NewSource(seed))
 	pairs := tm.Replay(n, seed)
 	trace := make([]snap.Ingress, len(pairs))
@@ -220,13 +281,14 @@ func runLoad(dep *snap.Deployment, tm snap.TrafficMatrix, n int, seed int64, wor
 		trace[i] = snap.Ingress{Port: uv[0], Packet: pairPacket(rng, uv[0], uv[1])}
 	}
 
-	eng := dep.Engine(snap.EngineOptions{
+	eng := dep.Engine(obs.engineOptions(snap.EngineOptions{
 		Workers:          workers,
 		SwitchWorkers:    switchWorkers,
 		Window:           window,
 		StateReplication: replicate,
-	})
+	}))
 	defer eng.Close()
+	defer obs.serve(eng.Telemetry())()
 	if replicate && eng.ExecMode() != snap.ModeReplication {
 		fmt.Println("\nreplication requested but the policy is outside the replicable fragment; running under locks:")
 		for _, r := range eng.ReplicationFallback() {
@@ -278,6 +340,7 @@ func runLoad(dep *snap.Deployment, tm snap.TrafficMatrix, n int, seed int64, wor
 		}
 		fmt.Printf("%-10s %10d %10d %10d\n", campusName(id), l.Processed, l.Suspends, l.Forwarded)
 	}
+	obs.dump(eng.Telemetry())
 }
 
 // runDrift is the live-reconfiguration demo: the first half of the trace
@@ -288,7 +351,7 @@ func runLoad(dep *snap.Deployment, tm snap.TrafficMatrix, n int, seed int64, wor
 // packets — every injected packet is accounted delivered or dropped — and
 // (b) state preservation — global state is identical across each swap and
 // the per-port counters match the per-port injection tallies end to end.
-func runDrift(dep *snap.Deployment, t *snap.Topology, tmA snap.TrafficMatrix, shards []snap.ShardPlan, n int, seed int64, workers, switchWorkers, window int) {
+func runDrift(dep *snap.Deployment, t *snap.Topology, tmA snap.TrafficMatrix, shards []snap.ShardPlan, n int, seed int64, workers, switchWorkers, window int, obs obsFlags) {
 	tmB := snap.Gravity(t, 100, seed+1)
 	rng := rand.New(rand.NewSource(seed))
 
@@ -302,12 +365,13 @@ func runDrift(dep *snap.Deployment, t *snap.Topology, tmA snap.TrafficMatrix, sh
 		perPort[uv[0]]++
 	}
 
-	eng := dep.Engine(snap.EngineOptions{
+	eng := dep.Engine(obs.engineOptions(snap.EngineOptions{
 		Workers:       workers,
 		SwitchWorkers: switchWorkers,
 		Window:        window,
-	})
+	}))
 	defer eng.Close()
+	defer obs.serve(eng.Telemetry())()
 	ctl := dep.Controller(eng, snap.ControllerOptions{
 		Threshold: 0.2,
 		MinSample: 1000,
@@ -399,12 +463,13 @@ func runDrift(dep *snap.Deployment, t *snap.Topology, tmA snap.TrafficMatrix, sh
 	for _, v := range vars {
 		fmt.Printf("  state %-14s -> %s\n", v, campusName(final2.Config.Placement[v]))
 	}
+	obs.dump(eng.Telemetry())
 }
 
 // runKill is the fault-tolerance demo: replay half the trace, kill a
 // switch mid-stream, fail over via the controller (replica promotion),
 // replay the surviving-port half, and audit packet and state accounting.
-func runKill(dep *snap.Deployment, t *snap.Topology, tm snap.TrafficMatrix, killArg string, replicas, n int, seed int64, workers, switchWorkers, window int) {
+func runKill(dep *snap.Deployment, t *snap.Topology, tm snap.TrafficMatrix, killArg string, replicas, n int, seed int64, workers, switchWorkers, window int, obs obsFlags) {
 	victim, err := parseVictim(dep, killArg)
 	if err != nil {
 		fail(err)
@@ -442,8 +507,9 @@ func runKill(dep *snap.Deployment, t *snap.Topology, tm snap.TrafficMatrix, kill
 		perPort[ing.Port]++
 	}
 
-	eng := dep.Engine(snap.EngineOptions{Workers: workers, SwitchWorkers: switchWorkers, Window: window})
+	eng := dep.Engine(obs.engineOptions(snap.EngineOptions{Workers: workers, SwitchWorkers: switchWorkers, Window: window}))
 	defer eng.Close()
+	defer obs.serve(eng.Telemetry())()
 	ctl := dep.Controller(eng, snap.ControllerOptions{})
 
 	if err := eng.InjectReplay(phaseA); err != nil {
@@ -532,6 +598,7 @@ func runKill(dep *snap.Deployment, t *snap.Topology, tm snap.TrafficMatrix, kill
 	} else if lostVars["count"] {
 		fmt.Println("counter audit skipped: counters were lost with the victim (run with -replicas 2)")
 	}
+	obs.dump(eng.Telemetry())
 }
 
 // parseVictim resolves -kill: "auto" picks the first state owner, campus

@@ -181,7 +181,11 @@ func (d *Deployment) Inject(port int, p Packet) ([]Delivery, error) {
 // parallel. The engine starts with fresh (empty) state tables, independent
 // of the deployment's sequential plane; call Close when done.
 func (d *Deployment) Engine(opts EngineOptions) *Engine {
-	return dataplane.NewEngine(d.comp.Config, opts)
+	eng := dataplane.NewEngine(d.comp.Config, opts)
+	// Seed the engine's registry with the cold-start compile so the phase
+	// histograms cover the whole lineage, not just live reconfigurations.
+	ctrl.ObserveCompile(eng.Telemetry(), d.comp.Scenario, d.comp.Times)
+	return eng
 }
 
 // Placement reports where each state variable was placed.

@@ -26,6 +26,7 @@ import (
 	"snap/internal/dataplane"
 	"snap/internal/place"
 	"snap/internal/rules"
+	"snap/internal/telemetry"
 	"snap/internal/topo"
 	"snap/internal/traffic"
 )
@@ -77,6 +78,10 @@ type Options struct {
 	// Verbose expands policy-edit events in the timeline with the delta
 	// compiler's phase-time split and reuse counters.
 	Verbose bool
+	// TelemetryAddr, when non-empty, serves the soak engine's telemetry
+	// (/metrics, /healthz, /debug/vars, pprof) on that address for the
+	// duration of the run — the live window into a long soak.
+	TelemetryAddr string
 
 	// corrupt, when set, runs at the "corrupt" event's boundary with the
 	// live engine and its current configuration — the regression hook
@@ -220,6 +225,17 @@ func Run(o Options) (*Report, error) {
 		StateReplication: o.Replication,
 	})
 	defer eng.Close()
+	ctrl.ObserveCompile(eng.Telemetry(), comp.Scenario, comp.Times)
+	if o.TelemetryAddr != "" {
+		srv, err := telemetry.Serve(o.TelemetryAddr, eng.Telemetry())
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		defer srv.Close()
+		if o.Log != nil {
+			fmt.Fprintf(o.Log, "telemetry: http://%s/metrics\n", srv.Addr())
+		}
+	}
 	ctl := ctrl.New(comp, eng, ctrl.Options{
 		Threshold: 0.2,
 		MinSample: float64(o.Chunk) / 2,

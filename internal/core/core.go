@@ -58,6 +58,11 @@ type Compilation struct {
 	Config  *rules.Config
 
 	Times PhaseTimes
+	// Scenario names the recompilation path that produced this
+	// compilation ("coldstart", "noop", "delta", "policy_cold", "topotm",
+	// "replace", "failover") — the label telemetry files phase durations
+	// under. Empty on hand-built Compilations.
+	Scenario string
 	// Delta describes how a PolicyChange was compiled (nil for other
 	// scenarios): the path taken and the reuse counters.
 	Delta *DeltaReport
@@ -75,7 +80,7 @@ func ColdStart(p syntax.Policy, t *topo.Topology, demands traffic.Matrix, opts p
 	// entry points, but the fragment memo, mapping caches and program
 	// cache come out primed for the first PolicyChange.
 	ds := newDeltaState()
-	c := &Compilation{Policy: p, Topo: t, Demands: demands, Opts: opts, delta: ds}
+	c := &Compilation{Policy: p, Topo: t, Demands: demands, Opts: opts, Scenario: "coldstart", delta: ds}
 
 	start := time.Now()
 	c.Order = deps.OrderOf(p)
@@ -134,18 +139,20 @@ func (c *Compilation) PolicyChange(p syntax.Policy) (*Compilation, error) {
 		n := *c
 		n.Policy = p
 		n.Times = PhaseTimes{}
+		n.Scenario = "noop"
 		n.Delta = &DeltaReport{Scenario: "noop"}
 		return &n, nil
 	}
 
 	ds := c.delta
 	n := &Compilation{
-		Policy:  p,
-		Topo:    c.Topo,
-		Demands: c.Demands,
-		Opts:    c.Opts,
-		Model:   c.Model,
-		delta:   ds,
+		Policy:   p,
+		Topo:     c.Topo,
+		Demands:  c.Demands,
+		Opts:     c.Opts,
+		Model:    c.Model,
+		Scenario: "delta",
+		delta:    ds,
 	}
 	rep := &DeltaReport{Scenario: "delta"}
 	n.Delta = rep
@@ -198,13 +205,14 @@ func (c *Compilation) PolicyChange(p syntax.Policy) (*Compilation, error) {
 // scratch.
 func (c *Compilation) ColdPolicy(p syntax.Policy) (*Compilation, error) {
 	n := &Compilation{
-		Policy:  p,
-		Topo:    c.Topo,
-		Demands: c.Demands,
-		Opts:    c.Opts,
-		Model:   c.Model,
-		delta:   c.delta,
-		Delta:   &DeltaReport{Scenario: "cold"},
+		Policy:   p,
+		Topo:     c.Topo,
+		Demands:  c.Demands,
+		Opts:     c.Opts,
+		Model:    c.Model,
+		Scenario: "policy_cold",
+		delta:    c.delta,
+		Delta:    &DeltaReport{Scenario: "cold"},
 	}
 
 	start := time.Now()
@@ -245,9 +253,14 @@ func (c *Compilation) ColdPolicy(p syntax.Policy) (*Compilation, error) {
 // TopoTMChange reacts to a network event (failure, traffic shift): state
 // placement is kept, only routing re-optimizes (TE) and rules regenerate.
 func (c *Compilation) TopoTMChange(demands traffic.Matrix) (*Compilation, error) {
-	return c.topoTMRecompile(demands, func(m *place.Model) (*place.Result, error) {
+	n, err := c.topoTMRecompile(demands, func(m *place.Model) (*place.Result, error) {
 		return m.SolveTE(c.Mapping, c.Order, c.Result.Placement)
 	})
+	if err != nil {
+		return nil, err
+	}
+	n.Scenario = "topotm"
+	return n, nil
 }
 
 // TopoTMReplace reacts to a traffic shift large enough that keeping the
@@ -258,9 +271,14 @@ func (c *Compilation) TopoTMChange(demands traffic.Matrix) (*Compilation, error)
 // control loop (internal/ctrl) pairs it with Engine.ApplyConfig, which
 // migrates the live state tables to the new owners during the swap.
 func (c *Compilation) TopoTMReplace(demands traffic.Matrix) (*Compilation, error) {
-	return c.topoTMRecompile(demands, func(m *place.Model) (*place.Result, error) {
+	n, err := c.topoTMRecompile(demands, func(m *place.Model) (*place.Result, error) {
 		return m.SolveST(c.Mapping, c.Order)
 	})
+	if err != nil {
+		return nil, err
+	}
+	n.Scenario = "replace"
+	return n, nil
 }
 
 // TopoFailover recompiles onto a degraded topology after a failure: the
@@ -274,13 +292,14 @@ func (c *Compilation) TopoTMReplace(demands traffic.Matrix) (*Compilation, error
 func (c *Compilation) TopoFailover(degraded *topo.Topology, demands traffic.Matrix) (*Compilation, error) {
 	demands = demands.Restrict(degraded)
 	n := &Compilation{
-		Policy:  c.Policy,
-		Topo:    degraded,
-		Demands: demands,
-		Opts:    c.Opts,
-		Order:   c.Order,
-		Diagram: c.Diagram,
-		delta:   c.delta,
+		Policy:   c.Policy,
+		Topo:     degraded,
+		Demands:  demands,
+		Opts:     c.Opts,
+		Order:    c.Order,
+		Diagram:  c.Diagram,
+		Scenario: "failover",
+		delta:    c.delta,
 	}
 
 	start := time.Now()

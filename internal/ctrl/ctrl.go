@@ -294,6 +294,7 @@ func (c *Controller) Step() (*Reconfig, error) {
 	if ref := c.mon.Ref.Total(); ref > 0 {
 		demands = demands.Scale(ref / demands.Total())
 	}
+	began := time.Now()
 	var next *core.Compilation
 	var err error
 	switch c.opts.Mode {
@@ -324,6 +325,9 @@ func (c *Controller) Step() (*Reconfig, error) {
 		Swap:       swap,
 	}
 	c.history = append(c.history, rec)
+	c.observe("reconfig", next.Scenario,
+		fmt.Sprintf("%s divergence=%.3f; %s", c.opts.Mode, div, plan),
+		began, next.Times, swap)
 	return &rec, nil
 }
 
@@ -372,6 +376,7 @@ type FailoverReport struct {
 // across partitions cannot be routed, so recovery needs operator intent
 // (e.g. a second scenario failing the minority side).
 func (c *Controller) Failover(s fault.Scenario) (*FailoverReport, error) {
+	began := time.Now()
 	degraded, err := c.comp.Topo.Degrade(s.Switches, s.Links)
 	if err != nil {
 		return nil, fmt.Errorf("ctrl: failover: %w", err)
@@ -415,6 +420,8 @@ func (c *Controller) Failover(s fault.Scenario) (*FailoverReport, error) {
 	c.comp = next
 	c.mon.Ref = next.Demands
 	c.eng.ResetObserved()
+	c.observe("failover", next.Scenario, fmt.Sprintf("%s; %s", s, plan),
+		began, next.Times, swap)
 	return &FailoverReport{
 		Scenario:    s,
 		Epoch:       c.eng.Epoch(),
@@ -462,6 +469,7 @@ type RestoreReport struct {
 // reconfiguration. The controller's lineage, reference matrix and
 // observation window advance to the restored network.
 func (c *Controller) Restore(s fault.Scenario, demands traffic.Matrix) (*RestoreReport, error) {
+	began := time.Now()
 	restored, err := c.comp.Topo.Recover(s.Switches, s.Links)
 	if err != nil {
 		return nil, fmt.Errorf("ctrl: restore: %w", err)
@@ -493,6 +501,10 @@ func (c *Controller) Restore(s fault.Scenario, demands traffic.Matrix) (*Restore
 	c.comp = next
 	c.mon.Ref = next.Demands
 	c.eng.ResetObserved()
+	// The recompile ran core's failover scenario, but filing restores
+	// under their own label keeps the two recovery directions separable.
+	c.observe("restore", "restore", fmt.Sprintf("%s; %s", s, plan),
+		began, next.Times, swap)
 	return &RestoreReport{
 		Scenario:      s,
 		Epoch:         c.eng.Epoch(),
@@ -534,6 +546,7 @@ type PolicyReport struct {
 // are untouched: editing the policy says nothing about demand, so drift
 // detection keeps its evidence.
 func (c *Controller) ApplyPolicy(p syntax.Policy) (*PolicyReport, error) {
+	began := time.Now()
 	next, err := c.comp.PolicyChange(p)
 	if err != nil {
 		return nil, fmt.Errorf("ctrl: policy recompile: %w", err)
@@ -556,6 +569,7 @@ func (c *Controller) ApplyPolicy(p syntax.Policy) (*PolicyReport, error) {
 	if next.Delta != nil {
 		rep.DirtySwitches = next.Delta.DirtySwitches
 	}
+	c.observe("policy", next.Scenario, plan.String(), began, next.Times, swap)
 	return rep, nil
 }
 

@@ -45,6 +45,7 @@ import (
 	"snap/internal/pkt"
 	"snap/internal/rules"
 	"snap/internal/state"
+	"snap/internal/telemetry"
 	"snap/internal/topo"
 	"snap/internal/traffic"
 )
@@ -99,6 +100,15 @@ type Options struct {
 	// ring (0 → 1024). Small values force publish backpressure and exist
 	// for tests; leave 0 in production.
 	ReplicationRing int
+	// TraceSampling enables sampled packet traces: 1 in TraceSampling
+	// injections records its hop-by-hop path, state suspensions and
+	// inject-to-retirement latency into a bounded ring, readable from
+	// Telemetry().Traces (and the /debug/vars snapshot). 0 — the default —
+	// disables tracing entirely; the hot path then pays one nil check.
+	TraceSampling int
+	// TraceBuffer is the trace ring capacity: how many completed sampled
+	// traces are retained, oldest evicted first (0 → 256).
+	TraceBuffer int
 }
 
 func (o Options) withDefaults(cfg *rules.Config) Options {
@@ -136,6 +146,9 @@ type injection struct {
 	eng    *Engine
 	wg     *sync.WaitGroup
 	pooled bool
+	// tr is the sampled packet trace, nil for the (default) unsampled
+	// case; finish commits it and clears the field before pooling.
+	tr *telemetry.PacketTrace
 
 	// Delivery collection (nil seen = stream mode, deliveries only counted).
 	mu   sync.Mutex
@@ -168,6 +181,10 @@ func (in *injection) release(n int) {
 // notify the waiter, and return pooled records. Batch-mode injections are
 // not pooled — the caller still reads their collected deliveries.
 func (in *injection) finish() {
+	if in.tr != nil {
+		in.tr.Finish()
+		in.tr = nil
+	}
 	e, wg := in.eng, in.wg
 	if in.pooled {
 		in.eng, in.wg, in.pooled = nil, nil, false
@@ -256,6 +273,11 @@ type plane struct {
 	placed []bool
 	// maxFork is the widest multicast fork over all linked programs.
 	maxFork int
+
+	// lockHist holds the per-variable lock-wait histogram handles
+	// (ModeLocks only), indexed like lockSusp/lockWait; resolved at plane
+	// build so the contended path observes without any registry lookup.
+	lockHist []*telemetry.Histogram
 
 	// mode is the concurrency discipline this plane runs (scr.go); scr is
 	// its worker set, nil under ModeLocks. diags are the plane's link-time
@@ -358,6 +380,19 @@ type Engine struct {
 	linkReused atomic.Int64
 	linkFresh  atomic.Int64
 
+	// Telemetry (telemetry.go): tel is the engine's private registry —
+	// almost entirely scrape-time collectors over the atomics above, so
+	// the packet loop is unaffected. sampler gates the 1-in-N packet
+	// traces collected in traces (both nil at the default TraceSampling
+	// of 0); lockWaitVec and linkSeconds are the two live histograms,
+	// fed from the contended-lock slow path and the plane-build link
+	// step respectively.
+	tel         *telemetry.Registry
+	sampler     *telemetry.Sampler
+	traces      *telemetry.TraceLog
+	lockWaitVec *telemetry.HistogramVec
+	linkSeconds *telemetry.Histogram
+
 	gate   *gate
 	quit   chan struct{}  // closed by Close; releases straggler sends
 	sendWg sync.WaitGroup // fallback-send goroutines
@@ -399,6 +434,20 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 
 		contHist: map[string]VarContention{},
 	}
+	// The registry and the two live histogram handles must exist before
+	// buildPlane runs (it resolves per-variable lock-wait histograms and
+	// times the link step).
+	e.tel = telemetry.NewRegistry()
+	e.lockWaitVec = e.tel.HistogramVec("snap_lock_wait_seconds",
+		"Wait of blocked stripe-lock acquisitions, attributed to every variable of the contended lock set.",
+		1e-9, "var")
+	e.linkSeconds = e.tel.Histogram("snap_link_seconds",
+		"Duration of program-link passes at plane builds (cold start and reconfigurations).", 1e-9)
+	if opts.TraceSampling > 0 {
+		e.sampler = telemetry.NewSampler(opts.TraceSampling)
+		e.traces = telemetry.NewTraceLog(opts.TraceBuffer)
+		e.tel.Traces = e.traces
+	}
 	e.rep = newReplicator(e, cfg)
 	pl := e.buildPlane(cfg, e.rep)
 	e.plane.Store(pl)
@@ -432,6 +481,7 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 			}()
 		}
 	}
+	e.registerMetrics()
 	return e
 }
 
@@ -448,6 +498,8 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 // pointer, ownership set and variable-name space) are reused, so a hot
 // swap pays link cost only for the switches the recompilation dirtied.
 func (e *Engine) linkProgramsCached(cfg *rules.Config) map[topo.NodeID]*netasm.Linked {
+	t0 := time.Now()
+	defer func() { e.linkSeconds.Observe(int64(time.Since(t0))) }()
 	vs := cfg.VarSpace()
 	if sig := vs.Signature(); e.linkCache == nil || sig != e.linkSig {
 		e.linkCache = map[linkKey]*netasm.Linked{}
@@ -520,6 +572,7 @@ func (e *Engine) buildPlane(cfg *rules.Config, rep *replicator) *plane {
 	p.locks = make(map[topo.NodeID]state.LockSet, len(cfg.Switches))
 	p.lockSusp = make([]atomic.Int64, vs.Len())
 	p.lockWait = make([]atomic.Int64, vs.Len())
+	p.lockHist = make([]*telemetry.Histogram, vs.Len())
 	p.lockVars = make(map[topo.NodeID][]int32, len(cfg.Switches))
 	for id, sc := range cfg.Switches {
 		sw := netasm.NewLinkedSwitch(int(id), linked[id])
@@ -531,6 +584,9 @@ func (e *Engine) buildPlane(cfg *rules.Config, rep *replicator) *plane {
 		for _, v := range sw.LockVars() {
 			if vid := vs.ID(v); vid >= 0 {
 				p.lockVars[id] = append(p.lockVars[id], int32(vid))
+				// Same variable name across epochs → same histogram
+				// child, so waits accumulate over the engine's life.
+				p.lockHist[vid] = e.lockWaitVec.With(v)
 			}
 		}
 	}
@@ -638,6 +694,7 @@ func (e *Engine) step(at topo.NodeID, it item, sc *stepScratch) {
 			// empirical matrix still reflects the offered load.
 			e.stats.dropped.Add(1)
 			e.observeDrop(at, it.sp.Hdr.OBSIn, it.sp.Hdr.OBSOut)
+			traceHop(it.inj.tr, at, "drop", "", -1)
 			it.inj.release(1)
 			return
 		}
@@ -663,6 +720,7 @@ func (e *Engine) step(at topo.NodeID, it item, sc *stepScratch) {
 				for _, vid := range pl.lockVars[at] {
 					pl.lockSusp[vid].Add(1)
 					pl.lockWait[vid].Add(wait)
+					pl.lockHist[vid].Observe(wait)
 				}
 			}
 		}
@@ -693,12 +751,14 @@ func (e *Engine) step(at topo.NodeID, it item, sc *stepScratch) {
 			case netasm.Dropped:
 				e.stats.dropped.Add(1)
 				e.observeDrop(at, r.Packet.Hdr.OBSIn, -1)
+				traceHop(it.inj.tr, at, "drop", "", -1)
 				terminal++
 
 			case netasm.Delivered:
 				e.stats.delivered.Add(1)
 				e.observe(at, r.Packet.Hdr.OBSIn, r.Packet.Hdr.OBSOut)
 				it.inj.deliver(Delivery{Port: r.Packet.Hdr.OBSOut, Packet: r.Packet.Pkt})
+				traceHop(it.inj.tr, at, "deliver", "", r.Packet.Hdr.OBSOut)
 				terminal++
 
 			case netasm.NeedState:
@@ -724,11 +784,13 @@ func (e *Engine) step(at topo.NodeID, it item, sc *stepScratch) {
 				if e.linkDead(pl.cfg.Topo.Links[li]) {
 					e.stats.dropped.Add(1)
 					e.observeDrop(at, r.Packet.Hdr.OBSIn, r.Packet.Hdr.OBSOut)
+					traceHop(it.inj.tr, at, "drop", r.StateVar, -1)
 					terminal++
 					continue
 				}
 				e.stats.hops.Add(1)
 				e.load[at].forwarded.Add(1)
+				traceHop(it.inj.tr, at, "suspend", r.StateVar, -1)
 				cont = append(cont, hop{to: next, it: item{sp: r.Packet, hops: it.hops + 1, inj: it.inj}})
 
 			case netasm.ToEgress:
@@ -736,6 +798,7 @@ func (e *Engine) step(at topo.NodeID, it item, sc *stepScratch) {
 				if !ok {
 					e.stats.dropped.Add(1)
 					e.observeDrop(at, r.Packet.Hdr.OBSIn, -1)
+					traceHop(it.inj.tr, at, "drop", "", -1)
 					terminal++
 					continue
 				}
@@ -743,6 +806,7 @@ func (e *Engine) step(at topo.NodeID, it item, sc *stepScratch) {
 					e.stats.delivered.Add(1)
 					e.observe(at, r.Packet.Hdr.OBSIn, eg.ID)
 					it.inj.deliver(Delivery{Port: eg.ID, Packet: r.Packet.Pkt})
+					traceHop(it.inj.tr, at, "deliver", "", eg.ID)
 					terminal++
 					continue
 				}
@@ -755,11 +819,13 @@ func (e *Engine) step(at topo.NodeID, it item, sc *stepScratch) {
 				if e.linkDead(pl.cfg.Topo.Links[li]) {
 					e.stats.dropped.Add(1)
 					e.observeDrop(at, r.Packet.Hdr.OBSIn, r.Packet.Hdr.OBSOut)
+					traceHop(it.inj.tr, at, "drop", "", r.Packet.Hdr.OBSOut)
 					terminal++
 					continue
 				}
 				e.stats.hops.Add(1)
 				e.load[at].forwarded.Add(1)
+				traceHop(it.inj.tr, at, "forward", "", r.Packet.Hdr.OBSOut)
 				cont = append(cont, hop{to: next, it: item{sp: r.Packet, hops: it.hops + 1, inj: it.inj}})
 			}
 		}
@@ -794,7 +860,7 @@ func (e *Engine) inject(ing Ingress, collect bool, wg *sync.WaitGroup, sc *stepS
 		return nil, fmt.Errorf("dataplane: unknown ingress port %d", ing.Port)
 	}
 	e.window <- struct{}{}
-	e.stats.injected.Add(1)
+	seq := e.stats.injected.Add(1)
 	var inj *injection
 	if collect {
 		inj = &injection{seen: map[deliveryKey]bool{}}
@@ -803,6 +869,9 @@ func (e *Engine) inject(ing Ingress, collect bool, wg *sync.WaitGroup, sc *stepS
 		inj.pooled = true
 	}
 	inj.eng, inj.wg = e, wg
+	if e.sampler.Hit() {
+		inj.tr = e.traces.Start(ing.Port, seq)
+	}
 	inj.refs.Store(1)
 	sp := netasm.SimPacket{
 		Pkt: ing.Packet,

@@ -1,0 +1,8 @@
+//go:build !race
+
+package dataplane_test
+
+// raceEnabled lets allocation-sensitive tests skip under the race
+// runtime, whose instrumentation allocates on paths that are clean in a
+// normal build.
+const raceEnabled = false

@@ -257,6 +257,23 @@ func (r *replicator) aliveReplica(v string) *state.Store {
 	return nil
 }
 
+// queueDepth counts mirror writes currently queued at the primaries,
+// awaiting the drain — the telemetry scrape's live backlog gauge. Each
+// buffer is locked only for a length read, so primary writers stall no
+// longer than they do for an append.
+func (r *replicator) queueDepth() int64 {
+	if r == nil {
+		return 0
+	}
+	var n int64
+	for _, buf := range r.pending {
+		buf.mu.Lock()
+		n += int64(len(buf.ws))
+		buf.mu.Unlock()
+	}
+	return n
+}
+
 // lag returns enqueued/applied counters.
 func (r *replicator) lag() (enq, app int64) {
 	if r == nil {

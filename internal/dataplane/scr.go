@@ -233,6 +233,11 @@ type scrWorker struct {
 	kick chan struct{}
 	sync chan chan struct{}
 
+	// published counts update-log entries this worker has shipped to its
+	// peers (each entry once, however many peers receive it); atomic so
+	// the telemetry scrape can read it against live traffic.
+	published atomic.Int64
+
 	queue   []scrHop
 	results []netasm.Result
 }
@@ -243,6 +248,40 @@ type scrState struct {
 	workers []*scrWorker
 	next    atomic.Uint64
 	wg      sync.WaitGroup
+}
+
+// ringOccupancy sums the updates currently queued across every
+// worker-pair ring. It reads only the rings' atomic head/tail indices, so
+// it is safe against live traffic (the telemetry scrape calls it) and
+// nil-receiver safe (lock-mode planes have no scrState).
+func (s *scrState) ringOccupancy() int64 {
+	if s == nil {
+		return 0
+	}
+	var n int64
+	for _, wk := range s.workers {
+		for _, r := range wk.rings {
+			if r == nil {
+				continue
+			}
+			n += int64(r.tail.Load() - r.head.Load())
+		}
+	}
+	return n
+}
+
+// updateCounts sums the workers' lifetime update-log counters: published
+// counts each logged entry once, applied counts each remote application
+// (≈ published × (workers−1) at quiescence). Nil-receiver safe.
+func (s *scrState) updateCounts() (published, applied int64) {
+	if s == nil {
+		return 0, 0
+	}
+	for _, wk := range s.workers {
+		published += wk.published.Load()
+		applied += wk.rep.Applied()
+	}
+	return published, applied
 }
 
 // buildSCR constructs the replicated worker set for a classified-safe
@@ -408,6 +447,7 @@ func (wk *scrWorker) publish() {
 			}
 		}
 	}
+	wk.published.Add(int64(len(wk.log)))
 	wk.log = wk.log[:0]
 }
 
@@ -440,6 +480,7 @@ func (wk *scrWorker) walk(at topo.NodeID, it item) {
 		if e.down[cur.at].Load() {
 			e.stats.dropped.Add(1)
 			e.observeDrop(cur.at, cur.sp.Hdr.OBSIn, cur.sp.Hdr.OBSOut)
+			traceHop(it.inj.tr, cur.at, "drop", "", -1)
 			continue
 		}
 		if cur.hops > e.opts.MaxHops {
@@ -459,11 +500,13 @@ func (wk *scrWorker) walk(at topo.NodeID, it item) {
 			case netasm.Dropped:
 				e.stats.dropped.Add(1)
 				e.observeDrop(cur.at, r.Packet.Hdr.OBSIn, -1)
+				traceHop(it.inj.tr, cur.at, "drop", "", -1)
 
 			case netasm.Delivered:
 				e.stats.delivered.Add(1)
 				e.observe(cur.at, r.Packet.Hdr.OBSIn, r.Packet.Hdr.OBSOut)
 				it.inj.deliver(Delivery{Port: r.Packet.Hdr.OBSOut, Packet: r.Packet.Pkt})
+				traceHop(it.inj.tr, cur.at, "deliver", "", r.Packet.Hdr.OBSOut)
 
 			case netasm.NeedState:
 				e.stats.suspends.Add(1)
@@ -485,10 +528,12 @@ func (wk *scrWorker) walk(at topo.NodeID, it item) {
 				if e.linkDead(pl.cfg.Topo.Links[li]) {
 					e.stats.dropped.Add(1)
 					e.observeDrop(cur.at, r.Packet.Hdr.OBSIn, r.Packet.Hdr.OBSOut)
+					traceHop(it.inj.tr, cur.at, "drop", r.StateVar, -1)
 					continue
 				}
 				e.stats.hops.Add(1)
 				e.load[cur.at].forwarded.Add(1)
+				traceHop(it.inj.tr, cur.at, "suspend", r.StateVar, -1)
 				q = append(q, scrHop{at: next, sp: r.Packet, hops: cur.hops + 1})
 
 			case netasm.ToEgress:
@@ -496,12 +541,14 @@ func (wk *scrWorker) walk(at topo.NodeID, it item) {
 				if !ok {
 					e.stats.dropped.Add(1)
 					e.observeDrop(cur.at, r.Packet.Hdr.OBSIn, -1)
+					traceHop(it.inj.tr, cur.at, "drop", "", -1)
 					continue
 				}
 				if eg.Switch == cur.at {
 					e.stats.delivered.Add(1)
 					e.observe(cur.at, r.Packet.Hdr.OBSIn, eg.ID)
 					it.inj.deliver(Delivery{Port: eg.ID, Packet: r.Packet.Pkt})
+					traceHop(it.inj.tr, cur.at, "deliver", "", eg.ID)
 					continue
 				}
 				next, li, err := nextHopLink(pl.cfg, cur.at, r.Packet, eg.Switch)
@@ -512,10 +559,12 @@ func (wk *scrWorker) walk(at topo.NodeID, it item) {
 				if e.linkDead(pl.cfg.Topo.Links[li]) {
 					e.stats.dropped.Add(1)
 					e.observeDrop(cur.at, r.Packet.Hdr.OBSIn, r.Packet.Hdr.OBSOut)
+					traceHop(it.inj.tr, cur.at, "drop", "", r.Packet.Hdr.OBSOut)
 					continue
 				}
 				e.stats.hops.Add(1)
 				e.load[cur.at].forwarded.Add(1)
+				traceHop(it.inj.tr, cur.at, "forward", "", r.Packet.Hdr.OBSOut)
 				q = append(q, scrHop{at: next, sp: r.Packet, hops: cur.hops + 1})
 			}
 		}

@@ -24,7 +24,11 @@
 // lock discipline instead.
 package state
 
-import "snap/internal/values"
+import (
+	"sync/atomic"
+
+	"snap/internal/values"
+)
 
 // UpdateAct is the operation kind of one logged write.
 type UpdateAct uint8
@@ -67,6 +71,11 @@ type Update struct {
 type Replica struct {
 	tables []*Table
 	tags   []map[Key]uint64
+	// applied counts remote updates replayed against a bound table
+	// (including sets filtered by last-writer-wins — they were still
+	// processed). Atomic only for the telemetry scrape; the replica
+	// itself is single-consumer.
+	applied atomic.Int64
 }
 
 // NewReplica sizes a replica for a variable space of n ids.
@@ -96,6 +105,10 @@ func (r *Replica) RecordLocal(varID int32, k Key, tag uint64) {
 	m[k] = tag
 }
 
+// Applied counts the remote updates this replica has replayed (its
+// lifetime consumption of the peers' logs).
+func (r *Replica) Applied() int64 { return r.applied.Load() }
+
 // Apply replays one remote update against the replica: deltas re-execute
 // unconditionally, sets apply only when their tag beats the largest tag
 // this replica has seen for the key.
@@ -107,6 +120,7 @@ func (r *Replica) Apply(u Update) {
 	if tbl == nil {
 		return
 	}
+	r.applied.Add(1)
 	k := KeyOf(u.Idx)
 	switch u.Act {
 	case UpdateIncr:

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the bucket count of every histogram: bucket i holds
+// observations v with 2^(i-1) < v <= 2^i (bucket 0 holds v <= 1, the
+// final bucket tops out at 2^63-1 = MaxInt64, so there is no overflow
+// bucket to track separately — +Inf is emitted with the same cumulative
+// count as the last bucket).
+const histBuckets = 64
+
+// histShards spreads concurrent Observe calls across cache lines. The
+// shard is picked by the low bits of the observed value — free entropy
+// for the timing observations these histograms record, so two workers
+// observing different waits land on different shards, while a snapshot
+// just sums across shards. Must be a power of two.
+const histShards = 4
+
+type histShard struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64
+	// pad keeps neighbouring shards' hot words off one cache line.
+	_ [6]int64
+}
+
+// Histogram counts observations into power-of-two buckets. Observe is
+// allocation-free and lock-free: one atomic add on the bucket, one on the
+// shard sum. The zero value is NOT ready — histograms come from a
+// Registry (which fixes the output scale).
+type Histogram struct {
+	scale  float64
+	shards [histShards]histShard
+}
+
+func newHistogram(scale float64) *Histogram {
+	if scale == 0 {
+		scale = 1
+	}
+	return &Histogram{scale: scale}
+}
+
+// bucketOf maps an observation to its bucket index: bits.Len64(v-1), so
+// v in (2^(i-1), 2^i] lands in bucket i and v <= 1 (including zero and
+// negatives) in bucket 0.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v - 1))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value (raw units; the registry's scale converts on
+// output — duration histograms observe nanoseconds and export seconds).
+func (h *Histogram) Observe(v int64) {
+	s := &h.shards[uint64(v)&(histShards-1)]
+	s.counts[bucketOf(v)].Add(1)
+	s.sum.Add(v)
+}
+
+// histSnapshot is a point-in-time sum over shards.
+type histSnapshot struct {
+	counts [histBuckets]int64
+	sum    int64
+	count  int64
+	scale  float64
+}
+
+func (h *Histogram) snapshot() histSnapshot {
+	out := histSnapshot{scale: h.scale}
+	for i := range h.shards {
+		s := &h.shards[i]
+		for b := 0; b < histBuckets; b++ {
+			c := s.counts[b].Load()
+			out.counts[b] += c
+			out.count += c
+		}
+		out.sum += s.sum.Load()
+	}
+	return out
+}
+
+// upperBound is bucket i's inclusive upper bound in output units.
+func (s *histSnapshot) upperBound(i int) float64 {
+	return math.Ldexp(1, i) * s.scale // 2^i * scale
+}

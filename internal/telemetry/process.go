@@ -1,0 +1,22 @@
+package telemetry
+
+import "runtime"
+
+// registerProcessMetrics adds the Go runtime collectors every registry
+// carries: cheap scrape-time reads that make any telemetry endpoint
+// useful for leak hunting even before domain metrics exist.
+func registerProcessMetrics(r *Registry) {
+	r.GaugeFunc("snap_go_goroutines", "Live goroutines in the process.", nil, func(emit Emit) {
+		emit(nil, float64(runtime.NumGoroutine()))
+	})
+	r.GaugeFunc("snap_go_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", nil, func(emit Emit) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		emit(nil, float64(ms.HeapAlloc))
+	})
+	r.CounterFunc("snap_go_gc_cycles_total", "Completed GC cycles (runtime.MemStats.NumGC).", nil, func(emit Emit) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		emit(nil, float64(ms.NumGC))
+	})
+}

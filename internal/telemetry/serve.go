@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// NewHandler builds the HTTP face of a registry:
+//
+//	/metrics      Prometheus text exposition
+//	/healthz      liveness ("ok")
+//	/debug/vars   the JSON Snapshot (metrics + spans + traces)
+//	/debug/pprof  the standard runtime profiles
+//
+// The future snapd daemon mounts this same handler; until then Serve
+// hosts it from snapsim/snapbench/the chaos soak.
+func NewHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	// pprof is wired explicitly so the handler works on a private mux
+	// (the package-level handlers register only on DefaultServeMux).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running telemetry listener. Close is idempotent.
+type Server struct {
+	ln     net.Listener
+	srv    *http.Server
+	closed sync.Once
+	err    error
+}
+
+// Serve starts the telemetry endpoint on addr (e.g. ":9090",
+// "127.0.0.1:0") for the given registry and returns once the listener is
+// bound — scrapes succeed from the moment it returns.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           NewHandler(reg),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolving ":0" ports).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the http base URL of the listener.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close shuts the listener and its connections down. Safe to call more
+// than once; later calls return the first result.
+func (s *Server) Close() error {
+	s.closed.Do(func() { s.err = s.srv.Close() })
+	return s.err
+}

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_pkts_total", "pkts", "outcome").With("delivered").Add(11)
+	r.Spans.Record(Span{Kind: "failover", Duration: time.Millisecond})
+
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if code, body := get(t, s.URL()+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	code, body := get(t, s.URL()+"/metrics")
+	if code != 200 || !strings.Contains(body, `test_pkts_total{outcome="delivered"} 11`) {
+		t.Fatalf("/metrics: %d\n%s", code, body)
+	}
+	code, body = get(t, s.URL()+"/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/vars is not a Snapshot: %v", err)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Kind != "failover" {
+		t.Fatalf("/debug/vars spans: %+v", snap.Spans)
+	}
+	if code, body := get(t, s.URL()+"/debug/pprof/heap?debug=1"); code != 200 || len(body) == 0 {
+		t.Fatalf("/debug/pprof/heap: %d", code)
+	}
+}
+
+// TestServerCloseIdempotentNoLeak proves the listener's lifecycle cannot
+// mask goroutine leaks: serving and closing (twice) returns the process
+// to its baseline goroutine count.
+func TestServerCloseIdempotentNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		s, err := Serve("127.0.0.1:0", NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code, _ := get(t, s.URL()+"/healthz"); code != 200 {
+			t.Fatalf("healthz: %d", code)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("second close: %v", err)
+		}
+	}
+	if err := settleGoroutines(baseline, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// settleGoroutines waits for the goroutine count to return to at most
+// baseline (HTTP keep-alive teardown is asynchronous).
+func settleGoroutines(baseline int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutines did not settle: %d, baseline %d", n, baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

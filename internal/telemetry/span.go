@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Phase is one named sub-duration inside a span (a compiler phase, the
+// swap latency).
+type Phase struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration"`
+}
+
+// Span records one completed control-plane event with its phase split:
+// a drift reconfiguration, a failover, a restore, a policy apply.
+type Span struct {
+	// Kind is the event class ("reconfig", "failover", "restore",
+	// "policy"); Scenario the compile scenario label it was recorded
+	// under; Detail free-form context (the plan, the victim).
+	Kind     string        `json:"kind"`
+	Scenario string        `json:"scenario,omitempty"`
+	Detail   string        `json:"detail,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Phases   []Phase       `json:"phases,omitempty"`
+}
+
+// SpanLog is a bounded in-memory ring of spans: recording never blocks
+// beyond a short mutex and never grows past the capacity — the oldest
+// spans fall off. Total counts every span ever recorded.
+type SpanLog struct {
+	mu    sync.Mutex
+	cap   int
+	buf   []Span
+	next  int
+	total int64
+}
+
+// NewSpanLog builds a ring holding the most recent capacity spans
+// (capacity <= 0 → 256).
+func NewSpanLog(capacity int) *SpanLog {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &SpanLog{cap: capacity}
+}
+
+// Record appends one span, evicting the oldest past capacity.
+func (l *SpanLog) Record(s Span) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, s)
+	} else {
+		l.buf[l.next] = s
+	}
+	l.next = (l.next + 1) % l.cap
+	l.total++
+	l.mu.Unlock()
+}
+
+// Total counts spans recorded over the log's lifetime (recorded minus
+// retained = evicted).
+func (l *SpanLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained spans oldest-first.
+func (l *SpanLog) Snapshot() []Span {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Span, 0, len(l.buf))
+	if len(l.buf) < l.cap {
+		return append(out, l.buf...)
+	}
+	out = append(out, l.buf[l.next:]...)
+	return append(out, l.buf[:l.next]...)
+}
