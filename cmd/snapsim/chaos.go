@@ -19,6 +19,7 @@ type chaosOptions struct {
 	k           int
 	replication bool
 	short       bool
+	faults      bool
 	workers     int
 	verbose     bool
 	telemetry   string
@@ -33,6 +34,7 @@ func runChaos(co chaosOptions) {
 		Workers:       co.workers,
 		Replication:   co.replication,
 		Replicas:      co.k,
+		Faults:        co.faults,
 		Log:           os.Stdout,
 		Verbose:       co.verbose,
 		TelemetryAddr: co.telemetry,
@@ -59,6 +61,10 @@ func runChaos(co chaosOptions) {
 		rep.RecoveredEntries, rep.PromotedVars, rep.LostEntries, rep.LostWrites)
 	fmt.Printf("events: %d executed; oracle: %d lockstep probes, %d state audits, %d resyncs\n",
 		len(rep.Events), rep.OracleProbes, rep.OracleStateAudits, rep.OracleResyncs)
+	if rep.Faults {
+		fmt.Printf("containment: %d rollback(s), %d retried op(s), %d contained panic(s)\n",
+			rep.Rollbacks, rep.Retries, rep.ContainedPanics)
+	}
 	if rep.EngineNs > 0 {
 		fmt.Printf("engine: %s inside InjectReplay, %.0f sustained pps under churn\n",
 			time.Duration(rep.EngineNs).Round(time.Millisecond), rep.PPS)

@@ -61,6 +61,7 @@
 //	snapsim -chaos -seed 1 -short                   # the CI smoke configuration
 //	snapsim -chaos -seed 3 -topo campus -k 2        # replicated fault tolerance
 //	snapsim -chaos -seed 3 -replication             # state-compute replication plane
+//	snapsim -chaos -seed 1 -short -faults           # faultpoint injection + containment audit
 package main
 
 import (
@@ -151,6 +152,7 @@ func main() {
 	chaosK := flag.Int("k", 1, "chaos soak state replication factor")
 	chaosRepl := flag.Bool("replication", false, "chaos soak: request the state-compute replication discipline")
 	chaosShort := flag.Bool("short", false, "chaos soak: reduced-length smoke run (3000 packets, chunk 300)")
+	chaosFaults := flag.Bool("faults", false, "chaos soak: arm faultpoint injection (transient recompile failure, mid-swap apply failure, worker panic) and audit containment")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. :9090) for the run")
 	telemetryHold := flag.Duration("telemetry-hold", 0, "keep the -telemetry endpoint up this long after the replay finishes (engine modes)")
 	statsJSON := flag.String("stats-json", "", "write the final telemetry snapshot as JSON to this file (engine modes)")
@@ -171,8 +173,8 @@ func main() {
 		})
 		runChaos(chaosOptions{
 			seed: *seed, topo: *chaosTopo, packets: chaosPackets, chunk: *chaosChunk,
-			k: *chaosK, replication: *chaosRepl, short: *chaosShort, workers: *workers,
-			verbose: *verbose, telemetry: *telemetryAddr,
+			k: *chaosK, replication: *chaosRepl, short: *chaosShort, faults: *chaosFaults,
+			workers: *workers, verbose: *verbose, telemetry: *telemetryAddr,
 		})
 		return
 	}

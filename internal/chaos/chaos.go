@@ -24,6 +24,7 @@ import (
 	"snap/internal/core"
 	"snap/internal/ctrl"
 	"snap/internal/dataplane"
+	"snap/internal/faultpoint"
 	"snap/internal/place"
 	"snap/internal/rules"
 	"snap/internal/telemetry"
@@ -73,6 +74,14 @@ type Options struct {
 	// Probes is the number of lockstep oracle probes per tracked
 	// boundary; default 3.
 	Probes int
+	// Faults adds control-plane fault injection to the schedule: a
+	// transient recompile failure (absorbed by the controller's retry
+	// budget), a mid-swap apply failure (engine rollback, then retried),
+	// and an injected worker panic (quarantine, then healed) — each with
+	// its containment asserted as an invariant. The faults are armed
+	// through the process-global faultpoint registry, so at most one
+	// faults-enabled soak may run at a time.
+	Faults bool
 	// Log receives the event timeline as it executes (nil = silent).
 	Log io.Writer
 	// Verbose expands policy-edit events in the timeline with the delta
@@ -236,16 +245,24 @@ func Run(o Options) (*Report, error) {
 			fmt.Fprintf(o.Log, "telemetry: http://%s/metrics\n", srv.Addr())
 		}
 	}
-	ctl := ctrl.New(comp, eng, ctrl.Options{
+	ctlOpts := ctrl.Options{
 		Threshold: 0.2,
 		MinSample: float64(o.Chunk) / 2,
 		Mode:      ctrl.RePlace,
-	})
+	}
+	if o.Faults {
+		// The injected recompile/apply failures are one-shot; a small
+		// retry budget absorbs them inside the same operation. Seeded
+		// jitter keeps even the backoff schedule reproducible.
+		ctlOpts.Retry = ctrl.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, JitterSeed: o.Seed ^ 0xfa17}
+		defer faultpoint.Reset()
+	}
+	ctl := ctrl.New(comp, eng, ctlOpts)
 
 	chunks := o.Packets / o.Chunk
 	schedRng := rand.New(rand.NewSource(o.Seed ^ 0x5eed))
 	swScen, lnScen := pickScenarios(pris, comp, intended, schedRng)
-	sched, err := buildSchedule(chunks, swScen, lnScen, o.corruptAt, o.corrupt != nil)
+	sched, err := buildSchedule(chunks, swScen, lnScen, o.corruptAt, o.corrupt != nil, o.Faults)
 	if err != nil {
 		return nil, err
 	}
@@ -267,6 +284,7 @@ func Run(o Options) (*Report, error) {
 			Packets:  o.Packets,
 			Chunk:    o.Chunk,
 			Replicas: o.Replicas,
+			Faults:   o.Faults,
 		},
 	}
 	h.resync(-1, "initial")
@@ -308,6 +326,9 @@ func (h *harness) finish(total int) {
 	h.rep.Injected = st.Injected
 	h.rep.Delivered = st.Delivered
 	h.rep.Dropped = st.Dropped
+	h.rep.Rollbacks = st.Rollbacks
+	h.rep.ContainedPanics = st.ContainedPanics
+	h.rep.Retries = h.ctl.Retries()
 	h.rep.Discipline = h.eng.ExecMode().String()
 	h.rep.Fallback = h.eng.ReplicationFallback()
 	h.rep.EngineNs = h.engineNs

@@ -103,6 +103,64 @@ func TestChaosMatrix(t *testing.T) {
 	}
 }
 
+// TestChaosContainmentMatrix is the faults-on soak matrix: seeds × the
+// two execution disciplines with faultpoint injection armed. Every cell
+// must absorb the scripted control-plane failure (retry), mid-swap apply
+// failure (rollback + retry) and worker panic (quarantine + heal) with
+// zero invariant violations — the engine keeps serving on the prior
+// epoch with zero lost state entries across every contained fault — and
+// the run must stay byte-reproducible, containment counters included.
+func TestChaosContainmentMatrix(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		for _, replication := range []bool{false, true} {
+			o := campusOpts(seed, replication, 1)
+			o.Faults = true
+			name := fmt.Sprintf("seed=%d/replication=%v", seed, replication)
+			t.Run(name, func(t *testing.T) {
+				rep := mustRun(t, o)
+				requirePassed(t, rep)
+
+				kinds := map[string]bool{}
+				for _, e := range rep.Events {
+					kinds[e.Kind] = true
+				}
+				for _, want := range []string{"cfail", "afail", "wpanic"} {
+					if !kinds[want] {
+						t.Errorf("no %q containment event executed; events: %v", want, rep.Events)
+					}
+				}
+				// The scripted faults are absorbed by exactly one rollback,
+				// two retried operations and one contained panic; any other
+				// count means a fault escaped or double-fired.
+				if !rep.Faults {
+					t.Error("report does not flag faults mode")
+				}
+				if rep.Rollbacks != 1 {
+					t.Errorf("rollbacks = %d, want exactly 1", rep.Rollbacks)
+				}
+				if rep.Retries != 2 {
+					t.Errorf("retries = %d, want exactly 2", rep.Retries)
+				}
+				if rep.ContainedPanics != 1 {
+					t.Errorf("contained panics = %d, want exactly 1", rep.ContainedPanics)
+				}
+				if !strings.Contains(rep.ReproCommand(), "-faults") {
+					t.Errorf("repro command %q missing -faults", rep.ReproCommand())
+				}
+
+				rep2 := mustRun(t, o)
+				if a, b := rep.Fingerprint(), rep2.Fingerprint(); a != b {
+					t.Errorf("same faults options, different runs:\n--- first\n%s--- second\n%s", a, b)
+				}
+			})
+		}
+	}
+}
+
 // TestChaosTable5 soaks the default Table 5 topology (Stanford) at
 // reduced length: the configuration CI's smoke step runs.
 func TestChaosTable5(t *testing.T) {

@@ -53,6 +53,15 @@ type Report struct {
 	// Events is the executed timeline.
 	Events []EventRecord `json:"events"`
 
+	// Containment accounting, populated when Faults is set: injected
+	// control-plane and worker faults must be absorbed by exactly these
+	// rollback/retry/containment paths, so the counts are deterministic
+	// and fingerprinted.
+	Faults          bool  `json:"faults,omitempty"`
+	Rollbacks       int64 `json:"rollbacks,omitempty"`
+	Retries         int64 `json:"retries,omitempty"`
+	ContainedPanics int64 `json:"containedPanics,omitempty"`
+
 	// Differential-oracle accounting: sampled probe flows compared in
 	// lockstep, full state-equality audits, and resyncs after windows the
 	// shadow store cannot track (open failure windows, lossy failovers).
@@ -88,6 +97,10 @@ func (r *Report) Fingerprint() string {
 	for _, e := range r.Events {
 		fmt.Fprintf(&b, "event chunk=%d kind=%s %s\n", e.Chunk, e.Kind, e.Detail)
 	}
+	if r.Faults {
+		fmt.Fprintf(&b, "faults=%v rollbacks=%d retries=%d contained-panics=%d\n",
+			r.Faults, r.Rollbacks, r.Retries, r.ContainedPanics)
+	}
 	fmt.Fprintf(&b, "oracle probes=%d audits=%d resyncs=%d\n",
 		r.OracleProbes, r.OracleStateAudits, r.OracleResyncs)
 	for _, v := range r.Violations {
@@ -107,6 +120,9 @@ func (r *Report) ReproCommand() string {
 	}
 	if r.Discipline == "replication" {
 		b.WriteString(" -replication")
+	}
+	if r.Faults {
+		b.WriteString(" -faults")
 	}
 	return b.String()
 }

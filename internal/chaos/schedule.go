@@ -19,7 +19,11 @@ import (
 
 // event is one scheduled action at a chunk boundary.
 type event struct {
-	kind string // "policy", "shift", "fail", "failover", "restore", "corrupt"
+	// kind: "policy", "shift", "fail", "failover", "restore", "corrupt",
+	// and with Options.Faults the containment events "cfail" (transient
+	// recompile failure), "afail" (mid-swap apply failure) and "wpanic"
+	// (injected worker panic).
+	kind string
 	scen fault.Scenario
 }
 
@@ -70,7 +74,10 @@ func pickScenarios(t *topo.Topology, comp *core.Compilation, demands traffic.Mat
 // shift and one switch-failure episode (fail → one degraded chunk →
 // failover → restore); with ≥20 chunks a link-failure episode follows.
 // Episodes never overlap, so every failure window is exactly one chunk.
-func buildSchedule(n int, swScen, lnScen *fault.Scenario, corruptAt int, hasCorrupt bool) (schedule, error) {
+// With faults, three containment events interleave: a transient recompile
+// failure, a mid-swap apply failure and a worker panic — each contained
+// and asserted at its own boundary.
+func buildSchedule(n int, swScen, lnScen *fault.Scenario, corruptAt int, hasCorrupt, faults bool) (schedule, error) {
 	if n < 10 {
 		return nil, fmt.Errorf("chaos: need at least 10 chunks for the event script, have %d", n)
 	}
@@ -97,6 +104,11 @@ func buildSchedule(n int, swScen, lnScen *fault.Scenario, corruptAt int, hasCorr
 		f := add(n*80/100, event{kind: "fail", scen: *lnScen})
 		fo := add(f+1, event{kind: "failover", scen: *lnScen})
 		add(fo+2, event{kind: "restore", scen: *lnScen})
+	}
+	if faults {
+		add(n*18/100, event{kind: "cfail"})
+		add(n*32/100, event{kind: "afail"})
+		add(n*58/100, event{kind: "wpanic"})
 	}
 	if hasCorrupt {
 		add(corruptAt, event{kind: "corrupt"})

@@ -12,6 +12,7 @@ import (
 
 	"snap/internal/core"
 	"snap/internal/dataplane"
+	"snap/internal/faultpoint"
 	"snap/internal/syntax"
 	"snap/internal/traffic"
 )
@@ -234,6 +235,112 @@ func (h *harness) execEvent(ci int, ev event, variants []syntax.Policy) bool {
 		h.record(ci, "restore", fmt.Sprintf("%s epoch=%d restored-ports=%v plan={%s}",
 			ev.scen, rr.Epoch, rr.RestoredPorts, rr.Plan))
 		h.resync(ci, "post-restore")
+
+	case "cfail":
+		// Transient controller failure: the recompile of a policy rotation
+		// fails once; the retry budget absorbs it inside the same
+		// operation, with no externally visible failure.
+		h.polID++
+		next := variants[h.polID%len(variants)]
+		before := entryCount(h.eng.GlobalState())
+		retriesBefore := h.ctl.Retries()
+		faultpoint.Enable(faultpoint.CtrlRecompile, faultpoint.Plan{Times: 1})
+		pr, err := h.ctl.ApplyPolicy(next)
+		if err != nil {
+			h.violate(ci, "cfail: recompile fault not absorbed by retry: %v", err)
+			return false
+		}
+		if d := h.ctl.Retries() - retriesBefore; d != 1 {
+			h.violate(ci, "cfail: %d retries taken, want 1", d)
+		}
+		if after := entryCount(h.eng.GlobalState()); after != before {
+			h.violate(ci, "cfail lost state: %d entries before, %d after", before, after)
+		}
+		h.orc.policy = next
+		h.record(ci, "cfail", fmt.Sprintf("recompile fault absorbed by retry; variant=%d epoch=%d",
+			h.polID%len(variants), pr.Epoch))
+
+	case "afail":
+		// Mid-swap engine failure: the apply stage of a policy rotation
+		// fails once, the engine rolls back to the prior plane with state
+		// intact, and the controller's retry commits the identical edit on
+		// the second attempt — so the epoch advances exactly once.
+		h.polID++
+		next := variants[h.polID%len(variants)]
+		before := entryCount(h.eng.GlobalState())
+		epochBefore := h.eng.Epoch()
+		rollbacksBefore := h.eng.Stats().Rollbacks
+		faultpoint.Enable(faultpoint.EngineApplyLink, faultpoint.Plan{Times: 1})
+		pr, err := h.ctl.ApplyPolicy(next)
+		if err != nil {
+			h.violate(ci, "afail: apply fault not absorbed by rollback+retry: %v", err)
+			return false
+		}
+		if d := h.eng.Stats().Rollbacks - rollbacksBefore; d != 1 {
+			h.violate(ci, "afail: %d rollbacks, want 1", d)
+		}
+		if d := h.eng.Epoch() - epochBefore; d != 1 {
+			h.violate(ci, "afail: epoch advanced by %d across the event, want exactly 1", d)
+		}
+		if after := entryCount(h.eng.GlobalState()); after != before {
+			h.violate(ci, "afail lost state: %d entries before, %d after", before, after)
+		}
+		h.orc.policy = next
+		h.record(ci, "afail", fmt.Sprintf("apply fault rolled back, retried; variant=%d epoch=%d",
+			h.polID%len(variants), pr.Epoch))
+
+	case "wpanic":
+		// Worker panic: one probe packet trips an injected VM panic at its
+		// ingress switch. The panic fires before the VM writes, so the
+		// shadow oracle stays synced with zero lost state; the engine
+		// quarantines the switch (drop and count) and keeps serving on the
+		// same epoch. Re-committing the current policy heals the switch.
+		cur := h.intended.Restrict(h.ctl.Compilation().Topo)
+		pair, ok := drawPair(cur, h.rng)
+		if !ok {
+			h.record(ci, "wpanic", "skipped: no routable demand")
+			return true
+		}
+		before := entryCount(h.eng.GlobalState())
+		panicsBefore := h.eng.Stats().ContainedPanics
+		h.probeSeq++
+		p := flowPacket(pair[0], pair[1], 0xffe00000+h.probeSeq)
+		faultpoint.Enable(faultpoint.EngineRun, faultpoint.Plan{Kind: faultpoint.KindPanic, Times: 1})
+		h.injected[pair[0]]++
+		out, err := h.eng.InjectBatch([]dataplane.Ingress{{Port: pair[0], Packet: p}})
+		if err != nil {
+			h.violate(ci, "wpanic: injected panic poisoned the engine: %v", err)
+			return false
+		}
+		if len(out[0]) != 0 {
+			h.violate(ci, "wpanic: panicked packet still delivered %d copies", len(out[0]))
+		}
+		if d := h.eng.Stats().ContainedPanics - panicsBefore; d != 1 {
+			h.violate(ci, "wpanic: %d contained panics, want 1", d)
+		}
+		quar := h.eng.QuarantinedSwitches()
+		if len(quar) != 1 {
+			h.violate(ci, "wpanic: %d switches quarantined, want 1", len(quar))
+		}
+		if after := entryCount(h.eng.GlobalState()); after != before {
+			h.violate(ci, "wpanic lost state: %d entries before, %d after", before, after)
+		}
+		if _, err := h.ctl.ApplyPolicy(variants[h.polID%len(variants)]); err != nil {
+			h.violate(ci, "wpanic heal: %v", err)
+			return false
+		}
+		if q := h.eng.QuarantinedSwitches(); len(q) != 0 {
+			h.violate(ci, "wpanic: quarantine survived the healing swap: %v", q)
+		}
+		if after := entryCount(h.eng.GlobalState()); after != before {
+			h.violate(ci, "wpanic heal lost state: %d entries before, %d after", before, after)
+		}
+		// The panicked probe is this event's one explained drop; fold it
+		// into the ledgers so the next audit sees a clean healthy window.
+		h.bankObserved()
+		h.lastDrop = h.eng.Stats().Dropped
+		h.record(ci, "wpanic", fmt.Sprintf("panic contained; quarantined=%v healed epoch=%d",
+			quar, h.eng.Epoch()))
 
 	case "corrupt":
 		if h.o.corrupt != nil {

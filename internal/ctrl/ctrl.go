@@ -37,6 +37,7 @@ import (
 	"snap/internal/core"
 	"snap/internal/dataplane"
 	"snap/internal/fault"
+	"snap/internal/faultpoint"
 	"snap/internal/rules"
 	"snap/internal/shard"
 	"snap/internal/state"
@@ -231,6 +232,16 @@ type Options struct {
 	Shards []shard.Plan
 	// Combine resolves shard-fold collisions (see Plan.Combine).
 	Combine func(a, b values.Value) values.Value
+	// Retry bounds the retry-with-backoff loop around every operation's
+	// recompile+apply (recovery.go). The zero value keeps the historical
+	// fail-fast behavior: one attempt, no retry.
+	Retry RetryPolicy
+	// Breaker configures the per-operation circuit breakers (recovery.go).
+	// The zero value applies the defaults (threshold 3, cooldown 5s); the
+	// breaker only ever trips after whole operations exhaust their
+	// retries, so fail-fast callers see it exactly at 3 consecutive
+	// errors.
+	Breaker BreakerPolicy
 }
 
 // Controller owns the closed loop for one engine. It tracks the current
@@ -244,6 +255,9 @@ type Controller struct {
 	mon     Monitor
 	opts    Options
 	history []Reconfig
+	// rec is the recovery discipline (recovery.go): retry bookkeeping,
+	// circuit breakers, the last-known-good compilation.
+	rec *recoveryState
 }
 
 // New builds a controller for an engine currently running comp.Config.
@@ -254,12 +268,15 @@ func New(comp *core.Compilation, eng *dataplane.Engine, opts Options) *Controlle
 	if opts.MinSample <= 0 {
 		opts.MinSample = 500
 	}
-	return &Controller{
+	c := &Controller{
 		eng:  eng,
 		comp: comp,
 		mon:  Monitor{Ref: comp.Demands, Threshold: opts.Threshold, MinSample: opts.MinSample},
 		opts: opts,
+		rec:  newRecoveryState(opts.Retry.JitterSeed, comp),
 	}
+	c.registerRecoveryMetrics()
+	return c
 }
 
 // Drift reports the current divergence between the engine's observed
@@ -273,7 +290,15 @@ func (c *Controller) Drift() (float64, bool) {
 // hot-swap the engine. Returns nil without error when no reconfiguration
 // was needed. After a swap the observation window resets and the observed
 // matrix (scaled to the reference volume) becomes the new reference.
-func (c *Controller) Step() (*Reconfig, error) {
+//
+// Failure atomicity: the recompile+apply runs under the recovery
+// discipline (retry/backoff, circuit breaker — recovery.go), and the
+// controller's own state — compilation lineage, reference matrix,
+// observation window, history — advances only after the engine commits
+// the swap. A failed Step is a clean no-op: the same drift evidence is
+// still in the window and the next Step fires on it again.
+func (c *Controller) Step() (rec *Reconfig, err error) {
+	defer c.containPanic("reconfig", &err)
 	obs := c.eng.ObservedMatrix()
 	div, drifted := c.mon.Drift(obs)
 	if !drifted {
@@ -296,26 +321,37 @@ func (c *Controller) Step() (*Reconfig, error) {
 	}
 	began := time.Now()
 	var next *core.Compilation
-	var err error
-	switch c.opts.Mode {
-	case RePlace:
-		next, err = c.comp.TopoTMReplace(demands)
-	default:
-		next, err = c.comp.TopoTMChange(demands)
-	}
+	var plan Plan
+	var swap time.Duration
+	err = c.withRecovery("reconfig", func() error {
+		if err := faultpoint.Hit(faultpoint.CtrlRecompile); err != nil {
+			return fmt.Errorf("ctrl: recompile: %w", err)
+		}
+		var aerr error
+		switch c.opts.Mode {
+		case RePlace:
+			next, aerr = c.comp.TopoTMReplace(demands)
+		default:
+			next, aerr = c.comp.TopoTMChange(demands)
+		}
+		if aerr != nil {
+			return fmt.Errorf("ctrl: recompile: %w", aerr)
+		}
+		plan = PlanMigration(c.comp.Config, next.Config, c.opts.Shards, c.opts.Combine)
+		start := time.Now()
+		if aerr := c.eng.ApplyConfig(next.Config, plan.Rewrite()); aerr != nil {
+			return fmt.Errorf("ctrl: apply: %w", aerr)
+		}
+		swap = time.Since(start)
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("ctrl: recompile: %w", err)
+		return nil, err
 	}
-	plan := PlanMigration(c.comp.Config, next.Config, c.opts.Shards, c.opts.Combine)
-	start := time.Now()
-	if err := c.eng.ApplyConfig(next.Config, plan.Rewrite()); err != nil {
-		return nil, fmt.Errorf("ctrl: apply: %w", err)
-	}
-	swap := time.Since(start)
-	c.comp = next
+	c.commitGood(next)
 	c.mon.Ref = demands
 	c.eng.ResetObserved()
-	rec := Reconfig{
+	r := Reconfig{
 		Epoch:      c.eng.Epoch(),
 		Divergence: div,
 		Mode:       c.opts.Mode,
@@ -324,11 +360,11 @@ func (c *Controller) Step() (*Reconfig, error) {
 		Times:      next.Times,
 		Swap:       swap,
 	}
-	c.history = append(c.history, rec)
+	c.history = append(c.history, r)
 	c.observe("reconfig", next.Scenario,
 		fmt.Sprintf("%s divergence=%.3f; %s", c.opts.Mode, div, plan),
 		began, next.Times, swap)
-	return &rec, nil
+	return &r, nil
 }
 
 // FailoverReport records one completed controller-driven failover.
@@ -375,7 +411,12 @@ type FailoverReport struct {
 // A failure that partitions the surviving switches is refused: demand
 // across partitions cannot be routed, so recovery needs operator intent
 // (e.g. a second scenario failing the minority side).
-func (c *Controller) Failover(s fault.Scenario) (*FailoverReport, error) {
+//
+// The recompile+apply runs under the recovery discipline; the failure
+// injection itself stays outside the retry loop (it is idempotent, and a
+// retried recompile must see the already-degraded engine, not re-fail it).
+func (c *Controller) Failover(s fault.Scenario) (rep *FailoverReport, err error) {
+	defer c.containPanic("failover", &err)
 	began := time.Now()
 	degraded, err := c.comp.Topo.Degrade(s.Switches, s.Links)
 	if err != nil {
@@ -406,18 +447,30 @@ func (c *Controller) Failover(s fault.Scenario) (*FailoverReport, error) {
 	if len(demands) == 0 {
 		return nil, fmt.Errorf("ctrl: failover %s leaves no surviving demand pairs", s)
 	}
-	next, err := c.comp.TopoFailover(degraded, demands)
+	var next *core.Compilation
+	var plan Plan
+	var fs *dataplane.FailoverStats
+	var swap time.Duration
+	err = c.withRecovery("failover", func() error {
+		if err := faultpoint.Hit(faultpoint.CtrlRecompile); err != nil {
+			return fmt.Errorf("ctrl: failover recompile: %w", err)
+		}
+		var aerr error
+		if next, aerr = c.comp.TopoFailover(degraded, demands); aerr != nil {
+			return fmt.Errorf("ctrl: failover recompile: %w", aerr)
+		}
+		plan = PlanMigration(c.comp.Config, next.Config, c.opts.Shards, c.opts.Combine)
+		start := time.Now()
+		if fs, aerr = c.eng.Failover(next.Config, plan.Rewrite()); aerr != nil {
+			return fmt.Errorf("ctrl: failover apply: %w", aerr)
+		}
+		swap = time.Since(start)
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("ctrl: failover recompile: %w", err)
+		return nil, err
 	}
-	plan := PlanMigration(c.comp.Config, next.Config, c.opts.Shards, c.opts.Combine)
-	start := time.Now()
-	fs, err := c.eng.Failover(next.Config, plan.Rewrite())
-	if err != nil {
-		return nil, fmt.Errorf("ctrl: failover apply: %w", err)
-	}
-	swap := time.Since(start)
-	c.comp = next
+	c.commitGood(next)
 	c.mon.Ref = next.Demands
 	c.eng.ResetObserved()
 	c.observe("failover", next.Scenario, fmt.Sprintf("%s; %s", s, plan),
@@ -468,7 +521,8 @@ type RestoreReport struct {
 // surviving owners migrates per the new placement like any other
 // reconfiguration. The controller's lineage, reference matrix and
 // observation window advance to the restored network.
-func (c *Controller) Restore(s fault.Scenario, demands traffic.Matrix) (*RestoreReport, error) {
+func (c *Controller) Restore(s fault.Scenario, demands traffic.Matrix) (rep *RestoreReport, err error) {
+	defer c.containPanic("restore", &err)
 	began := time.Now()
 	restored, err := c.comp.Topo.Recover(s.Switches, s.Links)
 	if err != nil {
@@ -488,17 +542,29 @@ func (c *Controller) Restore(s fault.Scenario, demands traffic.Matrix) (*Restore
 		}
 	}
 	sort.Ints(restoredPorts)
-	next, err := c.comp.TopoFailover(restored, dem)
+	var next *core.Compilation
+	var plan Plan
+	var swap time.Duration
+	err = c.withRecovery("restore", func() error {
+		if err := faultpoint.Hit(faultpoint.CtrlRecompile); err != nil {
+			return fmt.Errorf("ctrl: restore recompile: %w", err)
+		}
+		var aerr error
+		if next, aerr = c.comp.TopoFailover(restored, dem); aerr != nil {
+			return fmt.Errorf("ctrl: restore recompile: %w", aerr)
+		}
+		plan = PlanMigration(c.comp.Config, next.Config, c.opts.Shards, c.opts.Combine)
+		start := time.Now()
+		if _, aerr := c.eng.Recover(next.Config, plan.Rewrite(), s.Switches, s.Links); aerr != nil {
+			return fmt.Errorf("ctrl: restore apply: %w", aerr)
+		}
+		swap = time.Since(start)
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("ctrl: restore recompile: %w", err)
+		return nil, err
 	}
-	plan := PlanMigration(c.comp.Config, next.Config, c.opts.Shards, c.opts.Combine)
-	start := time.Now()
-	if _, err := c.eng.Recover(next.Config, plan.Rewrite(), s.Switches, s.Links); err != nil {
-		return nil, fmt.Errorf("ctrl: restore apply: %w", err)
-	}
-	swap := time.Since(start)
-	c.comp = next
+	c.commitGood(next)
 	c.mon.Ref = next.Demands
 	c.eng.ResetObserved()
 	// The recompile ran core's failover scenario, but filing restores
@@ -545,20 +611,34 @@ type PolicyReport struct {
 // like any reconfiguration. The reference matrix and observation window
 // are untouched: editing the policy says nothing about demand, so drift
 // detection keeps its evidence.
-func (c *Controller) ApplyPolicy(p syntax.Policy) (*PolicyReport, error) {
+func (c *Controller) ApplyPolicy(p syntax.Policy) (rep *PolicyReport, err error) {
+	defer c.containPanic("policy", &err)
 	began := time.Now()
-	next, err := c.comp.PolicyChange(p)
+	var next *core.Compilation
+	var plan Plan
+	var swap time.Duration
+	err = c.withRecovery("policy", func() error {
+		if err := faultpoint.Hit(faultpoint.CtrlRecompile); err != nil {
+			return fmt.Errorf("ctrl: policy recompile: %w", err)
+		}
+		next2, aerr := c.comp.PolicyChange(p)
+		if aerr != nil {
+			return fmt.Errorf("ctrl: policy recompile: %w", aerr)
+		}
+		next = next2
+		plan = PlanMigration(c.comp.Config, next.Config, c.opts.Shards, c.opts.Combine)
+		start := time.Now()
+		if aerr := c.eng.ApplyConfig(next.Config, plan.Rewrite()); aerr != nil {
+			return fmt.Errorf("ctrl: policy apply: %w", aerr)
+		}
+		swap = time.Since(start)
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("ctrl: policy recompile: %w", err)
+		return nil, err
 	}
-	plan := PlanMigration(c.comp.Config, next.Config, c.opts.Shards, c.opts.Combine)
-	start := time.Now()
-	if err := c.eng.ApplyConfig(next.Config, plan.Rewrite()); err != nil {
-		return nil, fmt.Errorf("ctrl: policy apply: %w", err)
-	}
-	swap := time.Since(start)
-	c.comp = next
-	rep := &PolicyReport{
+	c.commitGood(next)
+	rep = &PolicyReport{
 		Epoch:   c.eng.Epoch(),
 		Plan:    plan,
 		Compile: next.Times.Total(),

@@ -1,0 +1,154 @@
+// Failure containment: the engine-side half of the self-healing control
+// plane. Three mechanisms live here —
+//
+//   - panic containment: every switch-VM execution (both disciplines) and
+//     the mirror drainer run inside a recover() envelope. A panicking
+//     program does not crash the process and does not poison the engine:
+//     the panic becomes a *panicError carrying the captured stack, the
+//     victim switch is quarantined (its copies drop-and-count, like a
+//     failed switch), and the event lands in the span log and the
+//     containment counters. Quarantine clears at the next committed
+//     reconfiguration, when fresh VMs are re-seated from migrated state.
+//
+//   - rollback accounting: a reconfiguration that fails mid-swap
+//     (engine.go apply) rolls back to the prior plane; the counter and
+//     span recorded here are the observable trace of that.
+//
+//   - overload shedding: inject paths consult the admission-window
+//     watermark (Options.ShedWatermark) and reject with ErrOverload
+//     instead of blocking without bound.
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"snap/internal/faultpoint"
+	"snap/internal/netasm"
+	"snap/internal/telemetry"
+	"snap/internal/topo"
+)
+
+// ErrOverload rejects an injection because the engine's in-flight window
+// is at the configured shed watermark (Options.ShedWatermark). The packet
+// was not admitted; the engine is healthy and the caller may retry,
+// back off, or drop — match with errors.Is.
+var ErrOverload = errors.New("dataplane: overloaded, injection shed")
+
+// panicError is a panic converted to an error at a containment site, with
+// the stack captured where it unwound.
+type panicError struct {
+	site  string
+	sw    topo.NodeID
+	value any
+	stack []byte
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("dataplane: contained panic at %s (switch %d): %v", p.site, p.sw, p.value)
+}
+
+// runContained executes one switch visit under the panic envelope (and
+// the engine.run faultpoint, which is how tests and the chaos harness
+// inject worker panics). A recovered panic returns as *panicError; the
+// caller quarantines the switch instead of poisoning the engine.
+func runContained(sw *netasm.Switch, at topo.NodeID, site string, buf []netasm.Result, sp netasm.SimPacket) (results []netasm.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			results = buf[:0]
+			err = &panicError{site: site, sw: at, value: v, stack: debug.Stack()}
+		}
+	}()
+	if err := faultpoint.Hit(faultpoint.EngineRun); err != nil {
+		return buf[:0], err
+	}
+	return sw.RunAppend(buf, sp)
+}
+
+// containVMError routes a switch-visit error: a contained panic (or an
+// injected engine.run error, which exercises the same path) quarantines
+// the switch and reports true — the caller drops the copy and carries on.
+// Any other error is an organic VM fault and reports false — the caller
+// keeps the historical poison-the-engine semantics.
+func (e *Engine) containVMError(at topo.NodeID, err error) bool {
+	var pe *panicError
+	switch {
+	case errors.As(err, &pe):
+		e.quarantine(at, pe.site, fmt.Sprint(pe.value), pe.stack)
+	case errors.Is(err, faultpoint.ErrInjected):
+		e.quarantine(at, "engine.run", err.Error(), nil)
+	default:
+		return false
+	}
+	return true
+}
+
+// quarantine marks a switch poisoned: subsequent copies reaching it drop
+// and count (exactly the down-switch discipline, so packet conservation
+// audits keep balancing), the containment counter bumps, and the span log
+// records the stack. The flag clears only at the next committed
+// reconfiguration — the swap discards the poisoned VM and re-seats its
+// state on a fresh one; until then the switch serves nothing.
+func (e *Engine) quarantine(at topo.NodeID, site, detail string, stack []byte) {
+	e.stats.containedPanics.Add(1)
+	if !e.quar[at].Swap(true) {
+		d := fmt.Sprintf("switch %d: %s", at, detail)
+		if len(stack) > 0 {
+			d += "\n" + string(stack)
+		}
+		e.tel.Spans.Record(telemetry.Span{
+			Kind:     "panic",
+			Scenario: site,
+			Detail:   d,
+			Start:    time.Now(),
+		})
+	}
+}
+
+// quarantined reports whether a switch is under panic quarantine.
+func (e *Engine) quarantined(at topo.NodeID) bool { return e.quar[at].Load() }
+
+// clearQuarantine re-admits every quarantined switch; called at the
+// commit point of apply, where the poisoned VMs have just been replaced.
+func (e *Engine) clearQuarantine() {
+	for i := range e.quar {
+		e.quar[i].Store(false)
+	}
+}
+
+// QuarantinedSwitches lists the switches currently under panic
+// quarantine, ascending.
+func (e *Engine) QuarantinedSwitches() []topo.NodeID {
+	var out []topo.NodeID
+	for i := range e.quar {
+		if e.quar[i].Load() {
+			out = append(out, topo.NodeID(i))
+		}
+	}
+	return out
+}
+
+// dropQuarantined accounts one copy discarded at a quarantined switch.
+func (e *Engine) dropQuarantined(at topo.NodeID, tr *telemetry.PacketTrace, in, out int) {
+	e.stats.dropped.Add(1)
+	e.stats.quarantineDrops.Add(1)
+	e.observeDrop(at, in, out)
+	traceHop(tr, at, "drop", "", -1)
+}
+
+// rollback accounts a failed reconfiguration at its single exit: the old
+// plane keeps serving on the unchanged epoch (the caller's gate resume
+// reopens admission), the rollback counter bumps, and the span log keeps
+// the abort reason. Returns err so callers can `return nil, e.rollback(...)`.
+func (e *Engine) rollback(began time.Time, err error) error {
+	e.stats.rollbacks.Add(1)
+	e.tel.Spans.Record(telemetry.Span{
+		Kind:     "rollback",
+		Detail:   err.Error(),
+		Start:    began,
+		Duration: time.Since(began),
+	})
+	return err
+}

@@ -1,0 +1,323 @@
+// Failure-containment tests: transactional reconfiguration rollback,
+// panic quarantine under both concurrency disciplines, overload shedding
+// at the admission window, and the mirror-drainer stall point. Every test
+// arms process-global fault points, so none of them may run in parallel;
+// t.Cleanup(faultpoint.Reset) restores the disarmed state even on failure.
+package dataplane_test
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"snap/internal/apps"
+	"snap/internal/dataplane"
+	"snap/internal/faultpoint"
+	"snap/internal/topo"
+)
+
+// TestApplyConfigRollbackThenRetry: a failure injected at each stage of
+// the prepare→validate→commit swap must roll the engine back to the prior
+// plane — epoch unchanged, every state entry intact, traffic still served
+// — and a clean retry of the same reconfiguration must then succeed.
+func TestApplyConfigRollbackThenRetry(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	netw := topo.Campus(1000)
+	p := campusWorkload(apps.Monitor())
+	planeA, _ := deploy(t, p, netw, map[string]topo.NodeID{"count": 8})
+	planeB, _ := deploy(t, p, netw, map[string]topo.NodeID{"count": 2})
+
+	eng := dataplane.NewEngine(planeA.Config(), dataplane.Options{SwitchWorkers: 2, Window: 16})
+	defer eng.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	batch := make([]dataplane.Ingress, 0, 150)
+	for i := 0; i < 150; i++ {
+		port, pk := campusPacket(rng)
+		batch = append(batch, dataplane.Ingress{Port: port, Packet: pk})
+	}
+	if _, err := eng.InjectBatch(batch); err != nil {
+		t.Fatalf("warm batch: %v", err)
+	}
+	before := eng.GlobalState()
+
+	points := []string{
+		faultpoint.EngineApplyRewrite,
+		faultpoint.EngineApplyLink,
+		faultpoint.EngineApplyReseed,
+	}
+	for i, name := range points {
+		faultpoint.Enable(name, faultpoint.Plan{Times: 1})
+		err := eng.ApplyConfig(planeB.Config(), nil)
+		if err == nil {
+			t.Fatalf("%s: ApplyConfig succeeded despite injected failure", name)
+		}
+		if !errors.Is(err, faultpoint.ErrInjected) {
+			t.Fatalf("%s: error does not unwrap to ErrInjected: %v", name, err)
+		}
+		if e := eng.Epoch(); e != 0 {
+			t.Fatalf("%s: epoch advanced to %d on a failed swap", name, e)
+		}
+		if !eng.GlobalState().Equal(before) {
+			t.Fatalf("%s: state changed across a rolled-back swap", name)
+		}
+		if got := eng.Stats().Rollbacks; got != int64(i+1) {
+			t.Fatalf("%s: Rollbacks = %d, want %d", name, got, i+1)
+		}
+	}
+
+	// The prior epoch keeps serving: a batch after three rollbacks lands
+	// exactly as it would have without them.
+	if _, err := eng.InjectBatch(batch); err != nil {
+		t.Fatalf("post-rollback batch: %v", err)
+	}
+	if len(eng.SwitchTable(8).Entries("count")) == 0 {
+		t.Fatal("count entries left the original owner without a committed swap")
+	}
+
+	// Retry with the faults cleared: the identical call now commits.
+	if err := eng.ApplyConfig(planeB.Config(), nil); err != nil {
+		t.Fatalf("retry ApplyConfig: %v", err)
+	}
+	if e := eng.Epoch(); e != 1 {
+		t.Fatalf("epoch after successful retry = %d, want 1", e)
+	}
+	if n := len(eng.SwitchTable(2).Entries("count")); n == 0 {
+		t.Fatal("count entries did not migrate on the successful retry")
+	}
+
+	var buf strings.Builder
+	if err := eng.Telemetry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "snap_reconfig_rollbacks_total 3") {
+		t.Fatalf("/metrics does not report the rollbacks:\n%s", buf.String())
+	}
+}
+
+// panicQuarantineCheck drives one engine through the worker-panic
+// containment cycle: an injected VM panic must quarantine (not kill) the
+// engine, conservation must hold with the quarantine drops counted, no
+// state entry may be lost, and the next committed reconfiguration heals.
+func panicQuarantineCheck(t *testing.T, eng *dataplane.Engine) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(13))
+	batch := make([]dataplane.Ingress, 0, 200)
+	for i := 0; i < 200; i++ {
+		port, pk := campusPacket(rng)
+		batch = append(batch, dataplane.Ingress{Port: port, Packet: pk})
+	}
+	if _, err := eng.InjectBatch(batch); err != nil {
+		t.Fatalf("warm batch: %v", err)
+	}
+	before := eng.GlobalState()
+
+	faultpoint.Enable(faultpoint.EngineRun, faultpoint.Plan{Kind: faultpoint.KindPanic, Times: 1})
+	if _, err := eng.InjectBatch(batch); err != nil {
+		t.Fatalf("batch with injected panic poisoned the engine: %v", err)
+	}
+	st := eng.Stats()
+	if st.ContainedPanics != 1 {
+		t.Fatalf("ContainedPanics = %d, want 1", st.ContainedPanics)
+	}
+	q := eng.QuarantinedSwitches()
+	if len(q) != 1 {
+		t.Fatalf("quarantined switches = %v, want exactly one", q)
+	}
+	if st.QuarantineDrops == 0 {
+		t.Fatal("no quarantine drops counted at the quarantined switch")
+	}
+	if lost := st.Injected - st.Delivered - st.Dropped; lost != 0 {
+		t.Fatalf("conservation broken under quarantine: %d copies unaccounted", lost)
+	}
+	// Zero lost state: the panic fires before the VM writes, and
+	// quarantine drops are pre-execution, so everything written before
+	// the fault is still there.
+	after := eng.GlobalState()
+	for _, v := range before.Vars() {
+		if b, a := len(before.Entries(v)), len(after.Entries(v)); a < b {
+			t.Fatalf("state entries lost under quarantine: %s had %d, now %d", v, b, a)
+		}
+	}
+
+	// A committed reconfiguration (same config) lifts the quarantine.
+	if err := eng.ApplyConfig(eng.Config(), nil); err != nil {
+		t.Fatalf("healing ApplyConfig: %v", err)
+	}
+	if q := eng.QuarantinedSwitches(); len(q) != 0 {
+		t.Fatalf("quarantine survived the committed swap: %v", q)
+	}
+	preDrops := eng.Stats().QuarantineDrops
+	if _, err := eng.InjectBatch(batch); err != nil {
+		t.Fatalf("post-heal batch: %v", err)
+	}
+	st = eng.Stats()
+	if st.QuarantineDrops != preDrops {
+		t.Fatal("healed engine still dropping at the formerly quarantined switch")
+	}
+	if lost := st.Injected - st.Delivered - st.Dropped; lost != 0 {
+		t.Fatalf("conservation broken after heal: %d copies unaccounted", lost)
+	}
+}
+
+// TestWorkerPanicQuarantineLocks: panic containment under the striped-lock
+// discipline.
+func TestWorkerPanicQuarantineLocks(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	netw := topo.Campus(1000)
+	plane, _ := deploy(t, campusWorkload(apps.Monitor()), netw, nil)
+	eng := dataplane.NewEngine(plane.Config(), dataplane.Options{
+		Workers: 2, SwitchWorkers: 2, Window: 16,
+	})
+	defer eng.Close()
+	if eng.ExecMode() != dataplane.ModeLocks {
+		t.Fatalf("exec mode = %v, want locks", eng.ExecMode())
+	}
+	panicQuarantineCheck(t, eng)
+}
+
+// TestWorkerPanicQuarantineSCR: the same containment cycle under the
+// state-compute replication discipline.
+func TestWorkerPanicQuarantineSCR(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	eng, _, ok := newReplicatedEngine(t, campusWorkload(apps.Monitor()), 4, 0)
+	if !ok {
+		t.Fatal("monitor must classify replication-safe")
+	}
+	defer eng.Close()
+	panicQuarantineCheck(t, eng)
+}
+
+// TestOverloadShedding: with ShedWatermark set, an injection arriving at a
+// full in-flight window is rejected with ErrOverload instead of blocking.
+// The stall fault point parks every admitted packet in its VM, making the
+// window depth deterministic: exactly ShedWatermark packets admitted, the
+// next one shed.
+func TestOverloadShedding(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	netw := topo.Campus(1000)
+	plane, _ := deploy(t, campusWorkload(apps.Monitor()), netw, nil)
+	eng := dataplane.NewEngine(plane.Config(), dataplane.Options{
+		Workers: 4, SwitchWorkers: 1, Window: 2, ShedWatermark: 2,
+	})
+	defer eng.Close()
+
+	rng := rand.New(rand.NewSource(19))
+	batch := make([]dataplane.Ingress, 3)
+	for i := range batch {
+		port, pk := campusPacket(rng)
+		batch[i] = dataplane.Ingress{Port: port, Packet: pk}
+	}
+
+	faultpoint.Enable(faultpoint.EngineRun, faultpoint.Plan{Kind: faultpoint.KindStall, Times: -1})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := eng.InjectBatch(batch)
+		errc <- err
+	}()
+	// Packets 1 and 2 are admitted and park in their VMs; packet 3 finds
+	// the window at the watermark and sheds. Only then release the stalls
+	// so the batch can drain.
+	for eng.Stats().Shed == 0 {
+		runtime.Gosched()
+	}
+	faultpoint.Disable(faultpoint.EngineRun)
+	if err := <-errc; !errors.Is(err, dataplane.ErrOverload) {
+		t.Fatalf("InjectBatch error = %v, want ErrOverload", err)
+	}
+	st := eng.Stats()
+	if st.Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", st.Shed)
+	}
+	if st.Injected != 2 {
+		t.Fatalf("Injected = %d, want 2 (the admitted packets)", st.Injected)
+	}
+
+	// Shedding is not poisoning: the engine keeps accepting traffic (one
+	// packet at a time here — a 3-packet burst may legitimately shed
+	// again under so small a window).
+	if _, err := eng.InjectBatch(batch[:1]); err != nil {
+		t.Fatalf("post-shed batch: %v", err)
+	}
+
+	var buf strings.Builder
+	if err := eng.Telemetry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "snap_shed_total 1") {
+		t.Fatal("/metrics does not report the shed injection")
+	}
+}
+
+// TestStreamShedsAndContinues: InjectStream treats ErrOverload as graceful
+// degradation — the shed packet is counted and the stream goes on.
+func TestStreamShedsAndContinues(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	netw := topo.Campus(1000)
+	plane, _ := deploy(t, campusWorkload(apps.Monitor()), netw, nil)
+	eng := dataplane.NewEngine(plane.Config(), dataplane.Options{
+		Workers: 4, SwitchWorkers: 1, Window: 2, ShedWatermark: 2,
+	})
+	defer eng.Close()
+
+	rng := rand.New(rand.NewSource(23))
+	ings := make([]dataplane.Ingress, 3)
+	for i := range ings {
+		port, pk := campusPacket(rng)
+		ings[i] = dataplane.Ingress{Port: port, Packet: pk}
+	}
+
+	faultpoint.Enable(faultpoint.EngineRun, faultpoint.Plan{Kind: faultpoint.KindStall, Times: -1})
+	ch := make(chan dataplane.Ingress)
+	done := make(chan error, 1)
+	go func() { done <- eng.InjectStream(ch) }()
+	for _, ing := range ings {
+		ch <- ing
+	}
+	for eng.Stats().Shed == 0 {
+		runtime.Gosched()
+	}
+	faultpoint.Disable(faultpoint.EngineRun)
+	close(ch)
+	if err := <-done; err != nil {
+		t.Fatalf("InjectStream = %v, want nil (shed packets are not errors)", err)
+	}
+	st := eng.Stats()
+	if st.Shed != 1 || st.Injected != 2 {
+		t.Fatalf("Shed = %d, Injected = %d; want 1 shed, 2 admitted", st.Shed, st.Injected)
+	}
+}
+
+// TestReplicatorDrainStall: stalling the background mirror drainer lets
+// lag accumulate — visibly, at the primaries — and releasing the fault
+// point plus a flush returns the pipeline to quiescence with nothing lost.
+func TestReplicatorDrainStall(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	comp, _, tm := compileCampus(t, 2)
+	eng := dataplane.NewEngine(comp.Config, dataplane.Options{Workers: 2, SwitchWorkers: 2})
+	defer eng.Close()
+
+	faultpoint.Enable(faultpoint.ReplicatorDrain, faultpoint.Plan{Kind: faultpoint.KindStall, Times: -1})
+	if err := eng.InjectReplay(trace(tm, 500, 29)); err != nil {
+		t.Fatal(err)
+	}
+	rs := eng.ReplicaStats()
+	if rs.Enqueued == 0 {
+		t.Fatal("no mirror writes enqueued for a counting workload")
+	}
+	if rs.Lag == 0 {
+		t.Fatal("stalled drainer shows zero lag")
+	}
+
+	faultpoint.Disable(faultpoint.ReplicatorDrain)
+	eng.FlushReplication()
+	rs = eng.ReplicaStats()
+	if rs.Lag != 0 || rs.Applied != rs.Enqueued {
+		t.Fatalf("pipeline did not recover after the stall: %+v", rs)
+	}
+	if rs.LostWrites != 0 {
+		t.Fatalf("writes lost across a drainer stall: %+v", rs)
+	}
+}

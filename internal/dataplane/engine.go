@@ -33,14 +33,17 @@
 package dataplane
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"snap/internal/faultpoint"
 	"snap/internal/netasm"
 	"snap/internal/pkt"
 	"snap/internal/rules"
@@ -109,6 +112,13 @@ type Options struct {
 	// TraceBuffer is the trace ring capacity: how many completed sampled
 	// traces are retained, oldest evicted first (0 → 256).
 	TraceBuffer int
+	// ShedWatermark turns on overload shedding: an injection arriving
+	// while ShedWatermark packets are already in flight is rejected with
+	// ErrOverload (and counted in Stats.Shed) instead of blocking on the
+	// admission window. Must be ≤ Window to have any effect beyond the
+	// window's own blocking. 0 — the default — disables shedding and
+	// keeps the historical unbounded-blocking admission.
+	ShedWatermark int
 }
 
 func (o Options) withDefaults(cfg *rules.Config) Options {
@@ -341,7 +351,11 @@ type Engine struct {
 	// Failure injection (failure.go): down switches drop everything queued
 	// at them, dead links drop copies sent across them. The switch count is
 	// fixed for the engine's lifetime, so down is indexed by NodeID.
+	// quar (containment.go) is the panic-quarantine flag per switch: a
+	// contained VM panic marks its switch here, and copies reaching it
+	// drop-and-count until a committed reconfiguration replaces the VM.
 	down      []atomic.Bool
+	quar      []atomic.Bool
 	linkMu    sync.Mutex // serializes FailLink writers
 	deadLinks atomic.Pointer[map[[2]topo.NodeID]bool]
 
@@ -429,6 +443,7 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 		window:  make(chan struct{}, opts.Window),
 		obs:     make(map[topo.NodeID]*obsShard, len(cfg.Switches)),
 		down:    make([]atomic.Bool, cfg.Topo.Switches),
+		quar:    make([]atomic.Bool, cfg.Topo.Switches),
 		gate:    newGate(),
 		quit:    make(chan struct{}),
 
@@ -476,7 +491,7 @@ func NewEngine(cfg *rules.Config, opts Options) *Engine {
 				defer e.wg.Done()
 				var sc stepScratch
 				for it := range ch {
-					e.step(node, it, &sc)
+					e.stepGuarded(node, it, &sc)
 				}
 			}()
 		}
@@ -698,6 +713,14 @@ func (e *Engine) step(at topo.NodeID, it item, sc *stepScratch) {
 			it.inj.release(1)
 			return
 		}
+		if e.quarantined(at) {
+			// A contained panic poisoned this switch's VM; its copies
+			// drop-and-count (the down-switch discipline) until a
+			// reconfiguration replaces it.
+			e.dropQuarantined(at, it.inj.tr, it.sp.Hdr.OBSIn, it.sp.Hdr.OBSOut)
+			it.inj.release(1)
+			return
+		}
 		if it.hops > e.opts.MaxHops {
 			e.fail(fmt.Errorf("dataplane: hop limit exceeded at switch %d (forwarding loop?)", at))
 			it.inj.release(1)
@@ -725,7 +748,7 @@ func (e *Engine) step(at topo.NodeID, it item, sc *stepScratch) {
 			}
 		}
 		e.slots <- struct{}{}
-		results, err := sw.RunAppend(sc.results[:0], it.sp)
+		results, err := runContained(sw, at, "engine.step", sc.results[:0], it.sp)
 		sc.results = results
 		<-e.slots
 		if !ls.Empty() {
@@ -734,6 +757,11 @@ func (e *Engine) step(at topo.NodeID, it item, sc *stepScratch) {
 		e.load[at].processed.Add(1)
 
 		if err != nil {
+			if e.containVMError(at, err) {
+				e.dropQuarantined(at, it.inj.tr, it.sp.Hdr.OBSIn, it.sp.Hdr.OBSOut)
+				it.inj.release(1)
+				return
+			}
 			e.fail(err)
 			it.inj.release(1)
 			return
@@ -843,6 +871,21 @@ func (e *Engine) step(at topo.NodeID, it item, sc *stepScratch) {
 	}
 }
 
+// stepGuarded is step under a last-resort recover: VM panics are already
+// contained inside the visit (runContained), so anything recovered here is
+// a bug in the engine's own routing/bookkeeping — the process survives,
+// the engine poisons with the captured stack, and the copy is released so
+// the injection cannot leak.
+func (e *Engine) stepGuarded(at topo.NodeID, it item, sc *stepScratch) {
+	defer func() {
+		if v := recover(); v != nil {
+			e.fail(fmt.Errorf("dataplane: panic in switch worker at switch %d: %v\n%s", at, v, debug.Stack()))
+			it.inj.release(1)
+		}
+	}()
+	e.step(at, it, sc)
+}
+
 // inject admits one packet (blocking on the gate, then the window) and
 // runs it: enqueued at its ingress switch's inbox, or — when the caller
 // passes a scratch — executed inline on the calling goroutine
@@ -858,6 +901,14 @@ func (e *Engine) inject(ing Ingress, collect bool, wg *sync.WaitGroup, sc *stepS
 	if !ok {
 		e.gate.leave()
 		return nil, fmt.Errorf("dataplane: unknown ingress port %d", ing.Port)
+	}
+	if w := e.opts.ShedWatermark; w > 0 && len(e.window) >= w {
+		// Overload: the in-flight window is at the shed watermark. Reject
+		// before taking a window slot — admission is serialized under e.mu,
+		// so the depth read cannot race another injector upward.
+		e.gate.leave()
+		e.stats.shed.Add(1)
+		return nil, ErrOverload
 	}
 	e.window <- struct{}{}
 	seq := e.stats.injected.Add(1)
@@ -993,6 +1044,12 @@ func (e *Engine) stream(next func() (Ingress, bool)) error {
 			break
 		}
 		if _, err := e.inject(ing, false, &wg, sc); err != nil {
+			if errors.Is(err, ErrOverload) {
+				// Graceful degradation: the shed packet is counted and
+				// the stream goes on — long replays ride out transient
+				// overload instead of aborting.
+				continue
+			}
 			wg.Wait()
 			return err
 		}
@@ -1070,11 +1127,19 @@ type recovery struct {
 	links    [][2]topo.NodeID
 }
 
-// apply is the shared swap sequence of ApplyConfig, Failover and Recover.
-// In degraded mode, state owned by down switches is recovered from replica
-// stores (promotion) or reported lost; otherwise an entry-holding variable
-// without a new owner is an error.
+// apply is the shared swap sequence of ApplyConfig, Failover and Recover,
+// structured as a transaction: prepare (flush, reconcile, union, rewrite),
+// validate (every entry-holding variable has an up owner), build (link +
+// plane + replica seed — no goroutines started), then commit. Every
+// fallible stage runs in prepareSwap against private data; a failure
+// there — or a panic, contained there — rolls back: the old plane keeps
+// serving on the unchanged epoch with all state intact, the rollback
+// counter bumps, and the error returns for the controller's retry
+// discipline. In degraded mode, state owned by down switches is recovered
+// from replica stores (promotion) or reported lost; otherwise an
+// entry-holding variable without a new owner is an error.
 func (e *Engine) apply(cfg *rules.Config, rewrite StateRewrite, degraded bool, rec *recovery) (*FailoverStats, error) {
+	began := time.Now()
 	e.gate.pause()
 	defer e.gate.resume()
 	if e.closed.Load() {
@@ -1090,41 +1155,26 @@ func (e *Engine) apply(cfg *rules.Config, rewrite StateRewrite, degraded bool, r
 	fs := &FailoverStats{Promoted: map[string]topo.NodeID{}}
 	old := e.plane.Load()
 	// Under the replication discipline, drain the update rings so worker
-	// 0's replica (old.switches) is the converged canonical state, and
-	// bank the outgoing plane's contention counters.
+	// 0's replica (old.switches) is the converged canonical state.
 	e.reconcile(old)
-	e.foldContention(old)
 	global := e.unionUpState(old.switches)
 	if degraded {
 		e.recoverOrphans(old, cfg, global, fs)
 	}
-	if rewrite != nil {
-		var err error
-		if global, err = rewrite(global); err != nil {
-			return nil, fmt.Errorf("dataplane: state rewrite: %w", err)
-		}
+	next, newRep, err := e.prepareSwap(cfg, rewrite, global)
+	if err != nil {
+		return nil, e.rollback(began, err)
 	}
 
-	// Build the new configuration's replicator and hook the new switch VMs
-	// into it; seed the new replica stores from the recovered global state
-	// so backups are warm from the first post-swap packet. The engine's
-	// live replicator is only swapped once the apply cannot fail anymore.
-	newRep := newReplicator(e, cfg)
-	newRep.seed(global)
-	next := e.buildPlane(cfg, newRep)
-	for _, v := range global.Vars() {
-		owner, ok := cfg.Placement[v]
-		if !ok {
-			return nil, fmt.Errorf("dataplane: state variable %s has no owner under the new configuration (fold or drop it in the rewrite)", v)
-		}
-		if !cfg.Topo.Up(owner) {
-			return nil, fmt.Errorf("dataplane: state variable %s placed on down switch %d", v, owner)
-		}
-		next.seedVar(global, v, owner)
-	}
-	// Commit point: nothing below can fail. Recovering elements come back
+	// Commit point: nothing below can fail. The outgoing plane's
+	// contention counters bank here (not earlier — a rolled-back apply
+	// must not double-count them on retry), recovering elements come back
 	// up here — after the stale state of the dead switches was excluded
-	// from the union above, and never on an errored apply.
+	// from the union above, and never on an errored apply — and panic
+	// quarantine lifts: the poisoned VMs have just been replaced by fresh
+	// ones re-seated from the migrated state.
+	e.foldContention(old)
+	e.clearQuarantine()
 	if rec != nil {
 		for _, s := range rec.switches {
 			e.down[s].Store(false)
@@ -1161,6 +1211,70 @@ func (e *Engine) apply(cfg *rules.Config, rewrite StateRewrite, degraded bool, r
 	newRep.start()
 	fs.LostWrites = e.repLost.Load()
 	return fs, nil
+}
+
+// prepareSwap runs every fallible stage of a reconfiguration — the state
+// rewrite, ownership validation, link + plane build, replica seeding and
+// the state re-seat — against data the old plane never reads, so an error
+// anywhere aborts with the engine exactly as it was. The one piece of
+// engine state buildPlane touches, the cross-epoch link cache, is
+// snapshotted and restored on failure (a half-populated cache keyed to an
+// abandoned VarSpace must not leak into the next attempt). A panic in any
+// stage is contained here and rolls back like an error. No goroutines are
+// started for the tentative plane (buildPlane/buildSCR and newReplicator
+// guarantee that), so abandoning it leaks nothing.
+//
+// The engine.apply.* fault points mark the three externally injectable
+// failure stages — rewrite, link, reseed — for tests and the chaos
+// harness.
+func (e *Engine) prepareSwap(cfg *rules.Config, rewrite StateRewrite, global *state.Store) (next *plane, newRep *replicator, err error) {
+	prevSig, prevCache := e.linkSig, e.linkCache
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("dataplane: contained panic during reconfiguration: %v\n%s", v, debug.Stack())
+		}
+		if err != nil {
+			e.linkSig, e.linkCache = prevSig, prevCache
+			next, newRep = nil, nil
+		}
+	}()
+	if err := faultpoint.Hit(faultpoint.EngineApplyRewrite); err != nil {
+		return nil, nil, fmt.Errorf("dataplane: state rewrite: %w", err)
+	}
+	if rewrite != nil {
+		if global, err = rewrite(global); err != nil {
+			return nil, nil, fmt.Errorf("dataplane: state rewrite: %w", err)
+		}
+	}
+	// Validate ownership before paying for the build: an entry-holding
+	// variable the new placement cannot seat fails the swap regardless of
+	// what the plane would look like.
+	for _, v := range global.Vars() {
+		owner, ok := cfg.Placement[v]
+		if !ok {
+			return nil, nil, fmt.Errorf("dataplane: state variable %s has no owner under the new configuration (fold or drop it in the rewrite)", v)
+		}
+		if !cfg.Topo.Up(owner) {
+			return nil, nil, fmt.Errorf("dataplane: state variable %s placed on down switch %d", v, owner)
+		}
+	}
+	if err := faultpoint.Hit(faultpoint.EngineApplyLink); err != nil {
+		return nil, nil, fmt.Errorf("dataplane: link: %w", err)
+	}
+	// Build the new configuration's replicator and hook the new switch VMs
+	// into it; seed the new replica stores from the recovered global state
+	// so backups are warm from the first post-swap packet. The engine's
+	// live replicator is only swapped at the caller's commit point.
+	newRep = newReplicator(e, cfg)
+	newRep.seed(global)
+	next = e.buildPlane(cfg, newRep)
+	if err := faultpoint.Hit(faultpoint.EngineApplyReseed); err != nil {
+		return nil, nil, fmt.Errorf("dataplane: state reseat: %w", err)
+	}
+	for _, v := range global.Vars() {
+		next.seedVar(global, v, cfg.Placement[v])
+	}
+	return next, newRep, nil
 }
 
 // replicator returns the live replication pipeline (possibly nil) under

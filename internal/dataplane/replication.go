@@ -16,11 +16,16 @@
 package dataplane
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"snap/internal/faultpoint"
 	"snap/internal/rules"
 	"snap/internal/state"
+	"snap/internal/telemetry"
 	"snap/internal/topo"
 	"snap/internal/values"
 )
@@ -155,7 +160,7 @@ func (r *replicator) start() {
 			case <-r.quit:
 				return
 			case <-r.kick:
-				r.drain()
+				r.drainGuarded()
 			}
 		}
 	}()
@@ -171,10 +176,40 @@ func (r *replicator) stop() {
 	<-r.done
 }
 
+// drainGuarded is the background drainer's panic envelope: a panic while
+// applying mirror writes is contained — counted and span-logged on the
+// engine — and the drain loop survives to serve the next kick, instead of
+// one poisoned write silently killing replication for the rest of the
+// process. Writes of the aborted pass that were already swapped out of
+// their buffers never reach the replicas; they stay visible as residual
+// lag (enqueued − applied), which is the honest signal — the replicas
+// really are behind by exactly those writes.
+func (r *replicator) drainGuarded() {
+	defer func() {
+		if v := recover(); v != nil {
+			r.eng.stats.containedPanics.Add(1)
+			r.eng.tel.Spans.Record(telemetry.Span{
+				Kind:     "panic",
+				Scenario: "replicator.drain",
+				Detail:   fmt.Sprintf("%v\n%s", v, debug.Stack()),
+				Start:    time.Now(),
+			})
+		}
+	}()
+	r.drain()
+}
+
 // drain applies every queued mirror write to the replica stores. Buffers
 // are swapped out under their own lock and applied outside it, so primary
-// writers are blocked only for the swap.
+// writers are blocked only for the swap. The replicator.drain fault point
+// sits before the mutex: armed as a stall it parks the background drainer
+// right here (writes pile up at the primaries, measurably, until the
+// point is disabled); armed as an error it skips the round, leaving the
+// queues for the next kick or flush.
 func (r *replicator) drain() {
+	if err := faultpoint.Hit(faultpoint.ReplicatorDrain); err != nil {
+		return
+	}
 	r.drainMu.Lock()
 	defer r.drainMu.Unlock()
 	applied := 0

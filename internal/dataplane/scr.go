@@ -40,6 +40,7 @@ package dataplane
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -455,11 +456,24 @@ func (wk *scrWorker) publish() {
 // replica, walk the packet, publish the log, release the injection. The
 // publish-before-release order is what makes single-packet replay
 // lockstep-identical to the sequential plane.
+//
+// The deferred guard is the SCR worker's last-resort containment: VM
+// panics are already converted inside the walk (runContained), so a panic
+// unwinding to here is a bug in the walk/merge machinery itself — poison
+// the engine with the stack and release the injection so no caller hangs.
 func (wk *scrWorker) process(h hop) {
+	defer wk.guard(h.it.inj)
 	wk.drain()
 	wk.walk(h.to, h.it)
 	wk.publish()
 	h.it.inj.release(1)
+}
+
+func (wk *scrWorker) guard(inj *injection) {
+	if v := recover(); v != nil {
+		wk.eng.fail(fmt.Errorf("dataplane: panic on SCR worker %d: %v\n%s", wk.id, v, debug.Stack()))
+		inj.release(1)
+	}
 }
 
 // walk runs one injected packet and all its copies to quiescence against
@@ -483,15 +497,26 @@ func (wk *scrWorker) walk(at topo.NodeID, it item) {
 			traceHop(it.inj.tr, cur.at, "drop", "", -1)
 			continue
 		}
+		if e.quarantined(cur.at) {
+			// Panic quarantine (containment.go): the switch's program is
+			// poisoned on some replica, so every replica stops serving it
+			// until a reconfiguration replaces the VMs.
+			e.dropQuarantined(cur.at, it.inj.tr, cur.sp.Hdr.OBSIn, cur.sp.Hdr.OBSOut)
+			continue
+		}
 		if cur.hops > e.opts.MaxHops {
 			e.fail(fmt.Errorf("dataplane: hop limit exceeded at switch %d (forwarding loop?)", cur.at))
 			return
 		}
 		sw := wk.switches[cur.at]
-		results, err := sw.RunAppend(wk.results[:0], cur.sp)
+		results, err := runContained(sw, cur.at, "engine.walk", wk.results[:0], cur.sp)
 		wk.results = results
 		e.load[cur.at].processed.Add(1)
 		if err != nil {
+			if e.containVMError(cur.at, err) {
+				e.dropQuarantined(cur.at, it.inj.tr, cur.sp.Hdr.OBSIn, cur.sp.Hdr.OBSOut)
+				continue
+			}
 			e.fail(err)
 			return
 		}

@@ -20,28 +20,48 @@ type Stats struct {
 	// attribution is available from Engine.LockContention.
 	LockSuspends int64
 	LockWaitNs   int64
+
+	// Failure containment (containment.go). Shed counts injections
+	// rejected with ErrOverload at the shed watermark (never admitted, so
+	// not in Injected). Rollbacks counts reconfigurations that failed
+	// mid-swap and rolled back to the prior plane. ContainedPanics counts
+	// panics recovered at the containment sites (switch VMs, both
+	// disciplines, and the mirror drainer). QuarantineDrops counts copies
+	// discarded at panic-quarantined switches; they are also in Dropped.
+	Shed            int64
+	Rollbacks       int64
+	ContainedPanics int64
+	QuarantineDrops int64
 }
 
 // counters is the live, atomically-updated form of Stats.
 type counters struct {
-	injected     atomic.Int64
-	delivered    atomic.Int64
-	dropped      atomic.Int64
-	hops         atomic.Int64
-	suspends     atomic.Int64
-	lockSuspends atomic.Int64
-	lockWaitNs   atomic.Int64
+	injected        atomic.Int64
+	delivered       atomic.Int64
+	dropped         atomic.Int64
+	hops            atomic.Int64
+	suspends        atomic.Int64
+	lockSuspends    atomic.Int64
+	lockWaitNs      atomic.Int64
+	shed            atomic.Int64
+	rollbacks       atomic.Int64
+	containedPanics atomic.Int64
+	quarantineDrops atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Injected:     c.injected.Load(),
-		Delivered:    c.delivered.Load(),
-		Dropped:      c.dropped.Load(),
-		Hops:         c.hops.Load(),
-		Suspends:     c.suspends.Load(),
-		LockSuspends: c.lockSuspends.Load(),
-		LockWaitNs:   c.lockWaitNs.Load(),
+		Injected:        c.injected.Load(),
+		Delivered:       c.delivered.Load(),
+		Dropped:         c.dropped.Load(),
+		Hops:            c.hops.Load(),
+		Suspends:        c.suspends.Load(),
+		LockSuspends:    c.lockSuspends.Load(),
+		LockWaitNs:      c.lockWaitNs.Load(),
+		Shed:            c.shed.Load(),
+		Rollbacks:       c.rollbacks.Load(),
+		ContainedPanics: c.containedPanics.Load(),
+		QuarantineDrops: c.quarantineDrops.Load(),
 	}
 }
 

@@ -77,6 +77,41 @@ func (e *Engine) registerMetrics() {
 			}
 			emit(nil, float64(n))
 		})
+	// Failure containment (containment.go): the self-healing loop's
+	// observable face — rollbacks of failed swaps, panics converted to
+	// quarantine, shed injections.
+	r.CounterFunc("snap_reconfig_rollbacks_total",
+		"Reconfigurations that failed mid-swap and rolled back to the prior plane (state intact, epoch unchanged).",
+		nil, func(emit telemetry.Emit) {
+			emit(nil, float64(e.stats.rollbacks.Load()))
+		})
+	r.CounterFunc("snap_contained_panics_total",
+		"Panics recovered at the containment sites: switch VMs under either discipline, and the mirror drainer.",
+		nil, func(emit telemetry.Emit) {
+			emit(nil, float64(e.stats.containedPanics.Load()))
+		})
+	r.GaugeFunc("snap_quarantined_switches",
+		"Switches currently under panic quarantine (dropping and counting until the next committed reconfiguration).",
+		nil, func(emit telemetry.Emit) {
+			n := 0
+			for i := range e.quar {
+				if e.quar[i].Load() {
+					n++
+				}
+			}
+			emit(nil, float64(n))
+		})
+	r.CounterFunc("snap_quarantine_drops_total",
+		"Packet copies discarded at panic-quarantined switches (also counted in snap_packets_total{outcome=\"dropped\"}).",
+		nil, func(emit telemetry.Emit) {
+			emit(nil, float64(e.stats.quarantineDrops.Load()))
+		})
+	r.CounterFunc("snap_shed_total",
+		"Injections rejected with ErrOverload at the shed watermark (never admitted).",
+		nil, func(emit telemetry.Emit) {
+			emit(nil, float64(e.stats.shed.Load()))
+		})
+
 	r.CounterFunc("snap_link_images_total",
 		"Distinct program images resolved at plane builds, by source: reused from the cross-epoch cache or freshly linked.",
 		[]string{"source"}, func(emit telemetry.Emit) {

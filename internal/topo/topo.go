@@ -370,11 +370,22 @@ func (t *Topology) UpConnected() bool {
 	return true
 }
 
-// Campus returns the running-example network of Figure 2: ingress routers
-// I1–I2 and department edges D1–D4 (D4 = the CS building, port 6) over a
-// six-router core. Wiring follows the §2.2 path descriptions: I1/D1 reach
-// D4 via C1–C5, I2/D2 via C2–C6, D3 via C5.
+// Campus builds the running-example network or panics; the wiring is a
+// compile-time constant, so a failure is a programming error. Library
+// callers that prefer an error use NewCampus.
 func Campus(capacity float64) *Topology {
+	t, err := NewCampus(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewCampus returns the running-example network of Figure 2: ingress
+// routers I1–I2 and department edges D1–D4 (D4 = the CS building, port 6)
+// over a six-router core. Wiring follows the §2.2 path descriptions: I1/D1
+// reach D4 via C1–C5, I2/D2 via C2–C6, D3 via C5.
+func NewCampus(capacity float64) (*Topology, error) {
 	// Node ids: 0..5 edge (I1, I2, D1, D2, D3, D4), 6..11 core (C1..C6).
 	const (
 		I1 = iota
@@ -413,7 +424,7 @@ func Campus(capacity float64) *Topology {
 		{ID: 5, Switch: D3},
 		{ID: 6, Switch: D4},
 	}
-	return MustNew("campus", 12, links, ports)
+	return New("campus", 12, links, ports)
 }
 
 // CampusSwitchName names the campus switches for diagnostics.
@@ -459,7 +470,7 @@ func Named(name string, capacity, portScale float64) (*Topology, error) {
 			if ports < 2 {
 				ports = 2
 			}
-			return synthesize(spec.Name, spec.Switches, spec.Edges, ports, capacity), nil
+			return synthesize(spec.Name, spec.Switches, spec.Edges, ports, capacity)
 		}
 	}
 	return nil, fmt.Errorf("unknown Table 5 topology %q", name)
@@ -469,7 +480,7 @@ func Named(name string, capacity, portScale float64) (*Topology, error) {
 // switch count and directed-edge count: a random spanning tree plus random
 // extra links, mirroring the degree spread of inferred ISP maps. External
 // ports go to the 70% lowest-degree switches (§6.2), round-robin.
-func synthesize(name string, switches, directedEdges, ports int, capacity float64) *Topology {
+func synthesize(name string, switches, directedEdges, ports int, capacity float64) (*Topology, error) {
 	rng := rand.New(rand.NewSource(seedFor(name)))
 	undirected := directedEdges / 2
 
@@ -507,12 +518,15 @@ func synthesize(name string, switches, directedEdges, ports int, capacity float6
 			Link{From: e.b, To: e.a, Capacity: capacity})
 	}
 
-	t := MustNew(name, switches, links, nil)
+	t, err := New(name, switches, links, nil)
+	if err != nil {
+		return nil, err
+	}
 	t.Ports = edgePorts(t, ports)
 	for _, p := range t.Ports {
 		t.portBy[p.ID] = p
 	}
-	return t
+	return t, nil
 }
 
 // edgePorts picks the 70% lowest-degree switches as edge switches and
@@ -542,11 +556,22 @@ func edgePorts(t *Topology, ports int) []Port {
 	return out
 }
 
-// IGen synthesizes an IGen-style network of n switches (§6.2 "Scaling with
-// topology size"): switches are placed on a plane, connected to their
+// IGen builds an IGen-style network or panics; the construction is
+// deterministic in n, so a failure is a programming error. Library callers
+// that prefer an error use NewIGen.
+func IGen(n int, capacity float64) *Topology {
+	t, err := NewIGen(n, capacity)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewIGen synthesizes an IGen-style network of n switches (§6.2 "Scaling
+// with topology size"): switches are placed on a plane, connected to their
 // nearest neighbors plus a spanning backbone, with 70% lowest-degree
 // switches carrying one external port each.
-func IGen(n int, capacity float64) *Topology {
+func NewIGen(n int, capacity float64) (*Topology, error) {
 	rng := rand.New(rand.NewSource(seedFor(fmt.Sprintf("igen-%d", n))))
 	xs := make([]float64, n)
 	ys := make([]float64, n)
@@ -616,13 +641,16 @@ func IGen(n int, capacity float64) *Topology {
 			Link{From: p[0], To: p[1], Capacity: capacity},
 			Link{From: p[1], To: p[0], Capacity: capacity})
 	}
-	t := MustNew(fmt.Sprintf("igen-%d", n), n, links, nil)
+	t, err := New(fmt.Sprintf("igen-%d", n), n, links, nil)
+	if err != nil {
+		return nil, err
+	}
 	nPorts := (n*7 + 9) / 10
 	t.Ports = edgePorts(t, nPorts)
 	for _, p := range t.Ports {
 		t.portBy[p.ID] = p
 	}
-	return t
+	return t, nil
 }
 
 func seedFor(name string) int64 {
